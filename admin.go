@@ -1,0 +1,255 @@
+package norman
+
+import (
+	"fmt"
+
+	"norman/internal/filter"
+	"norman/internal/kernel"
+	"norman/internal/packet"
+	"norman/internal/qos"
+	"norman/internal/sim"
+	"norman/internal/sniff"
+)
+
+// Rule is a firewall rule in administrator-facing form. Zero fields are
+// wildcards. Owner fields require an architecture with a process view.
+type Rule struct {
+	Proto    string // "udp", "tcp", "" = any
+	SrcNet   string // "10.0.0.0/8", "" = any
+	DstNet   string
+	SrcPort  uint16 // 0 = any
+	DstPort  uint16
+	OwnerUID *uint32
+	OwnerCmd string
+	Action   string // "accept", "drop", "count", "log", "mark"
+	Mark     uint32
+}
+
+// Hook names.
+const (
+	Input  = "INPUT"
+	Output = "OUTPUT"
+)
+
+// UID returns a pointer-typed uid for Rule.OwnerUID.
+func UID(u uint32) *uint32 { return &u }
+
+func (r Rule) compile() (*filter.Rule, error) {
+	out := &filter.Rule{OwnerUID: r.OwnerUID, OwnerCmd: r.OwnerCmd, MarkVal: r.Mark}
+	switch r.Proto {
+	case "udp":
+		out.Proto = filter.Proto(packet.ProtoUDP)
+	case "tcp":
+		out.Proto = filter.Proto(packet.ProtoTCP)
+	case "":
+	default:
+		return nil, fmt.Errorf("norman: unknown proto %q", r.Proto)
+	}
+	if r.SrcPort != 0 {
+		out.SrcPorts = filter.Port(r.SrcPort)
+	}
+	if r.DstPort != 0 {
+		out.DstPorts = filter.Port(r.DstPort)
+	}
+	parseNet := func(s string) (*filter.Prefix, error) {
+		if s == "" {
+			return nil, nil
+		}
+		var a, b, c, d byte
+		var bits int
+		if _, err := fmt.Sscanf(s, "%d.%d.%d.%d/%d", &a, &b, &c, &d, &bits); err != nil {
+			return nil, fmt.Errorf("norman: bad CIDR %q", s)
+		}
+		return filter.Net(packet.MakeIP(a, b, c, d), bits), nil
+	}
+	var err error
+	if out.SrcNet, err = parseNet(r.SrcNet); err != nil {
+		return nil, err
+	}
+	if out.DstNet, err = parseNet(r.DstNet); err != nil {
+		return nil, err
+	}
+	switch r.Action {
+	case "accept", "":
+		out.Action = filter.ActAccept
+	case "drop":
+		out.Action = filter.ActDrop
+	case "count":
+		out.Action = filter.ActCount
+	case "log":
+		out.Action = filter.ActLog
+	case "mark":
+		out.Action = filter.ActMark
+	default:
+		return nil, fmt.Errorf("norman: unknown action %q", r.Action)
+	}
+	return out, nil
+}
+
+// IPTablesAppend installs a rule at the architecture's interposition point
+// (the `iptables -A` of the reproduction). On architectures without one, or
+// without a process view for owner rules, an error explains which §2
+// scenario just became unenforceable.
+func (s *System) IPTablesAppend(hook string, r Rule) error {
+	fr, err := r.compile()
+	if err != nil {
+		return err
+	}
+	h := filter.HookOutput
+	if hook == Input {
+		h = filter.HookInput
+	}
+	if err := s.a.InstallRule(h, fr); err != nil {
+		return err
+	}
+	s.rules = append(s.rules, installedRule{hook: hook, rule: r})
+	return nil
+}
+
+// IPTablesFlush removes all rules.
+func (s *System) IPTablesFlush() error {
+	s.rules = nil
+	return s.a.FlushRules()
+}
+
+// RuleStatus is one installed rule with its hit counter (`iptables -L -v`).
+type RuleStatus struct {
+	Hook string
+	Rule Rule
+	Hits uint64
+}
+
+// IPTablesList returns the installed rules with hit counters where the
+// architecture tracks them.
+func (s *System) IPTablesList() []RuleStatus {
+	out := make([]RuleStatus, 0, len(s.rules))
+	perHook := map[string]int{}
+	for _, ir := range s.rules {
+		idx := perHook[ir.hook]
+		perHook[ir.hook]++
+		h := filter.HookOutput
+		if ir.hook == Input {
+			h = filter.HookInput
+		}
+		hits, _ := s.a.RuleHits(h, idx)
+		out = append(out, RuleStatus{Hook: ir.hook, Rule: ir.rule, Hits: hits})
+	}
+	return out
+}
+
+// QdiscSpec configures the egress scheduler (`tc qdisc add`).
+type QdiscSpec struct {
+	Kind string // "wfq", "drr", "prio", "pfifo", "tbf"
+
+	// Weights maps class id -> weight (wfq) or quantum bytes (drr).
+	Weights map[uint32]float64
+	// RateBps and BurstBytes parameterize tbf.
+	RateBps    float64
+	BurstBytes float64
+	Limit      int
+}
+
+// TCSet installs an egress qdisc with a classifier that assigns classes by
+// owning user id (the cgroup-style classification of the paper's QoS
+// scenario): ClassOfUID maps uid -> class; unmapped users get class 0.
+func (s *System) TCSet(spec QdiscSpec, classOfUID map[uint32]uint32) error {
+	var q qos.Qdisc
+	switch spec.Kind {
+	case "wfq", "":
+		wf := qos.NewWFQ(spec.Limit)
+		for class, weight := range spec.Weights {
+			wf.SetWeight(class, weight)
+		}
+		q = wf
+	case "drr":
+		d := qos.NewDRR(spec.Limit, 1514)
+		for class, weight := range spec.Weights {
+			d.SetQuantum(class, int(weight))
+		}
+		q = d
+	case "prio":
+		q = qos.NewPrio(3, spec.Limit)
+	case "pfifo":
+		q = qos.NewPFIFO(spec.Limit)
+	case "tbf":
+		q = qos.NewTBF(qos.NewPFIFO(spec.Limit), spec.RateBps, spec.BurstBytes)
+	default:
+		return fmt.Errorf("norman: unknown qdisc %q", spec.Kind)
+	}
+	classify := func(p *packet.Packet) uint32 {
+		if !p.Meta.TrustedMeta {
+			return 0
+		}
+		return classOfUID[p.Meta.UID]
+	}
+	return s.a.SetQdisc(q, classify)
+}
+
+// Capture is a running tcpdump session.
+type Capture struct {
+	tap *sniff.Tap
+}
+
+// Tcpdump attaches a capture with a tcpdump-style filter expression
+// (including the Norman uid/pid/cmd extensions where the architecture has a
+// process view).
+func (s *System) Tcpdump(expr string) (*Capture, error) {
+	e, err := sniff.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	tap, err := s.a.AttachTap(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Capture{tap: tap}, nil
+}
+
+// Records returns the retained captures.
+func (c *Capture) Records() []sniff.Record { return c.tap.Records() }
+
+// Counters returns packets seen and matched by the capture.
+func (c *Capture) Counters() (seen, matched uint64) {
+	seen, matched, _ = c.tap.Counters()
+	return seen, matched
+}
+
+// NetstatRow is one line of the netstat view: the flow joined with its
+// owning process — the join that off-host interposition cannot produce.
+type NetstatRow struct {
+	ConnID  uint64
+	Flow    string
+	PID     uint32
+	UID     uint32
+	Command string
+	Opened  Duration
+}
+
+// Netstat lists connections with process attribution from the kernel table.
+func (s *System) Netstat() []NetstatRow {
+	var out []NetstatRow
+	for _, ci := range s.w.Kern.Conns() {
+		out = append(out, NetstatRow{
+			ConnID:  ci.ID,
+			Flow:    ci.Flow.String(),
+			PID:     ci.PID,
+			UID:     ci.UID,
+			Command: ci.Command,
+			Opened:  sim.Duration(ci.Opened),
+		})
+	}
+	return out
+}
+
+// ARPEntry is one kernel ARP cache line.
+type ARPEntry = kernel.ARPEntry
+
+// ARPTable returns the kernel ARP cache — empty under architectures where
+// the kernel never sees dataplane ARP (the §2 debugging scenario).
+func (s *System) ARPTable() []*ARPEntry { return s.w.Kern.ARP().Entries() }
+
+// ARPTopRequester returns the process that originated the most ARP requests
+// visible to the kernel, with its count — how Alice traces the flood.
+func (s *System) ARPTopRequester() (pid uint32, count uint64) {
+	return s.w.Kern.ARP().TopRequester()
+}

@@ -1,0 +1,90 @@
+package norman_test
+
+// One benchmark per experiment in the DESIGN.md index. Each bench runs the
+// full-scale driver once per b.N iteration and reports the experiment table
+// on the first iteration; `go test -bench . -benchmem` therefore regenerates
+// every table the reproduction promises. cmd/kopibench wraps the same
+// drivers for ad-hoc runs.
+
+import (
+	"fmt"
+	"testing"
+
+	"norman/internal/experiments"
+)
+
+// benchScale is the configuration benches run at; 1.0 is the full
+// experiment (tests use smaller scales for speed).
+const benchScale = experiments.Scale(1.0)
+
+func BenchmarkE1Dataplanes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE1(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl) // stdout: the bench log truncates long tables
+		}
+	}
+}
+
+func BenchmarkE2Capabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE2(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl) // stdout: the bench log truncates long tables
+		}
+	}
+}
+
+func BenchmarkE3ConnScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE3(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl) // stdout: the bench log truncates long tables
+		}
+	}
+}
+
+func BenchmarkE4Reconfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE4(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl) // stdout: the bench log truncates long tables
+		}
+	}
+}
+
+func BenchmarkE5Exhaustion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE5(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl) // stdout: the bench log truncates long tables
+		}
+	}
+}
+
+func BenchmarkE6QoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE6(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl) // stdout: the bench log truncates long tables
+		}
+	}
+}
+
+func BenchmarkE7Blocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE7(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl) // stdout: the bench log truncates long tables
+		}
+	}
+}
+
+func BenchmarkE8OwnerFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE8(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl) // stdout: the bench log truncates long tables
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command kopibench regenerates the paper-reproduction experiments (E1–E8
+// in DESIGN.md) and prints their tables.
+//
+// Usage:
+//
+//	kopibench              # run every experiment at full scale
+//	kopibench -e E3        # run one experiment
+//	kopibench -scale 0.3   # compress durations/sweeps for a quick pass
+//	kopibench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"norman/internal/experiments"
+	"norman/internal/stats"
+)
+
+type runner func(experiments.Scale) *stats.Table
+
+var registry = map[string]struct {
+	desc string
+	run  runner
+}{
+	"E1": {"dataplane throughput/latency/CPU by architecture",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE1(s); return t }},
+	"E2": {"§2 management-scenario capability matrix",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE2(s); return t }},
+	"E3": {"RX goodput vs concurrent connections (DDIO cliff)",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE3(s); return t }},
+	"E4": {"overlay reload vs bitstream respin (online reconfiguration)",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE4(s); return t }},
+	"E5": {"NIC SRAM exhaustion and the software slow path",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE5(s); return t }},
+	"E6": {"per-user QoS: weighted fairness and game shaping",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE6(s); return t }},
+	"E7": {"blocking vs polling CPU efficiency",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE7(s); return t }},
+	"E8": {"owner-based filtering under spoofing + classifier ablation",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE8(s); return t }},
+}
+
+func main() {
+	exp := flag.String("e", "", "experiment id (E1..E8); empty = all")
+	scale := flag.Float64("scale", 1.0, "duration/sweep scale factor (1.0 = full)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		for _, id := range ids {
+			fmt.Printf("%s  %s\n", id, registry[id].desc)
+		}
+		return
+	}
+
+	var selected []string
+	if *exp == "" {
+		selected = ids
+	} else {
+		id := strings.ToUpper(*exp)
+		if _, ok := registry[id]; !ok {
+			fmt.Fprintf(os.Stderr, "kopibench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		selected = []string{id}
+	}
+
+	for _, id := range selected {
+		e := registry[id]
+		fmt.Printf("=== %s: %s (scale %.2f)\n", id, e.desc, *scale)
+		start := time.Now()
+		tbl := e.run(experiments.Scale(*scale))
+		fmt.Println(tbl.String())
+		fmt.Printf("--- %s done in %v (wall clock)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,81 @@
+// Command narp shows the kernel ARP view of a running normand: the cache,
+// and — the §2 debugging scenario's payoff — per-process accounting of who
+// has been sending ARP requests. Also doubles as the clock tool: -advance
+// runs virtual time forward, and -status prints dataplane counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"norman/internal/ctl"
+)
+
+func main() {
+	socket := flag.String("socket", ctl.DefaultSocket, "normand control socket")
+	advance := flag.Int("advance", 0, "advance virtual time by this many ms first")
+	status := flag.Bool("status", false, "print daemon status instead of the ARP view")
+	flag.Parse()
+
+	c, err := ctl.Dial(*socket)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	if *advance > 0 {
+		if err := c.Call(ctl.OpAdvance, ctl.AdvanceArgs{Millis: *advance}, nil); err != nil {
+			fatal(err)
+		}
+	}
+	if *status {
+		var st ctl.StatusData
+		if err := c.Call(ctl.OpStatus, nil, &st); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("architecture : %s\n", st.Architecture)
+		fmt.Printf("virtual time : %s\n", st.VirtualTime)
+		fmt.Printf("tx frames    : %d\n", st.TxFrames)
+		fmt.Printf("rx frames    : %d (drops %d)\n", st.RxFrames, st.RxDrops)
+		fmt.Printf("nic sram     : %d / %d bytes\n", st.SRAMUsed, st.SRAMBudget)
+		fmt.Printf("nic conns    : %d\n", st.Conns)
+		return
+	}
+
+	var data ctl.ARPData
+	if err := c.Call(ctl.OpARP, nil, &data); err != nil {
+		fatal(err)
+	}
+	fmt.Println("ARP cache:")
+	if len(data.Entries) == 0 {
+		fmt.Println("  (empty — this architecture's kernel never sees dataplane ARP)")
+	}
+	for _, e := range data.Entries {
+		fmt.Printf("  %-16s %-18s learned %s\n", e.IP, e.MAC, e.Learned)
+	}
+	fmt.Println("outbound ARP requests by pid:")
+	if len(data.RequestsByPID) == 0 {
+		fmt.Println("  (none observed)")
+	}
+	pids := make([]uint32, 0, len(data.RequestsByPID))
+	for pid := range data.RequestsByPID {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool {
+		return data.RequestsByPID[pids[i]] > data.RequestsByPID[pids[j]]
+	})
+	for _, pid := range pids {
+		who := fmt.Sprintf("pid %d", pid)
+		if pid == 0 {
+			who = "unattributed"
+		}
+		fmt.Printf("  %-14s %d requests\n", who, data.RequestsByPID[pid])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "narp: %v\n", err)
+	os.Exit(1)
+}

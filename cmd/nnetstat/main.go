@@ -1,0 +1,37 @@
+// Command nnetstat lists connections on a running normand with full
+// process attribution — the kernel-table join (flow ↔ pid/uid/command) that
+// off-host interposition layers cannot produce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"norman/internal/ctl"
+)
+
+func main() {
+	socket := flag.String("socket", ctl.DefaultSocket, "normand control socket")
+	flag.Parse()
+
+	c, err := ctl.Dial(*socket)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	var rows []ctl.NetstatData
+	if err := c.Call(ctl.OpNetstat, nil, &rows); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-5s %-38s %-6s %-6s %-14s %s\n", "conn", "flow", "pid", "uid", "command", "opened")
+	for _, r := range rows {
+		fmt.Printf("%-5d %-38s %-6d %-6d %-14s %s\n", r.ConnID, r.Flow, r.PID, r.UID, r.Command, r.Opened)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nnetstat: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command normand runs a live simulated Norman host and serves the control
+// socket that the administrative tools (niptables, ntc, ntcpdump, nnetstat,
+// narp) talk to — Figure 1 of the paper as a runnable system.
+//
+// The host carries a demo workload: Bob's postgres answering queries,
+// Charlie's backup pushing bulk data, Bob's game chattering, and (with
+// -flood) a buggy ARP-spraying daemon to debug. Virtual time advances as
+// tools interact (plus on demand via `narp -advance`), so the world is
+// always live but never burns your CPU.
+//
+// Usage:
+//
+//	normand [-arch kopi|kernelstack|bypass|sidecar|hypervisor]
+//	        [-socket /tmp/normand.sock] [-flood]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"norman"
+	"norman/internal/ctl"
+	"norman/internal/packet"
+	"norman/internal/wire"
+)
+
+func main() {
+	archName := flag.String("arch", "kopi", "dataplane architecture to run")
+	socket := flag.String("socket", ctl.DefaultSocket, "control socket path")
+	flood := flag.Bool("flood", false, "include the buggy ARP-flooding daemon (the §2 debugging scenario)")
+	flag.Parse()
+
+	sys := norman.New(norman.Architecture(*archName))
+	// The far side of the link: a gateway endpoint (10.0.0.2) that echoes
+	// UDP and answers pings, as any real peer would.
+	net := wire.NewNetwork(sys.Arch())
+	net.AddEndpoint(sys.World().PeerIP, sys.World().PeerMAC, wire.EchoUDP)
+
+	bob := sys.AddUser(1001, "bob")
+	charlie := sys.AddUser(1002, "charlie")
+
+	// Bob's postgres: steady request/response on port 5432.
+	postgres := sys.Spawn(bob, "postgres")
+	pgConn, err := sys.Dial(postgres, 5432, 5432)
+	if err != nil {
+		log.Fatalf("normand: postgres dial: %v", err)
+	}
+	loop(sys, pgConn, 256, 40*norman.Microsecond)
+
+	// Charlie's backup: bulk transfer on port 873.
+	backup := sys.Spawn(charlie, "backup")
+	bkConn, err := sys.Dial(backup, 30873, 873)
+	if err != nil {
+		log.Fatalf("normand: backup dial: %v", err)
+	}
+	loop(sys, bkConn, 1460, 15*norman.Microsecond)
+
+	// Bob's game: small chatty datagrams on an ephemeral port.
+	game := sys.Spawn(bob, "game")
+	gmConn, err := sys.Dial(game, 20101, 27015)
+	if err != nil {
+		log.Fatalf("normand: game dial: %v", err)
+	}
+	loop(sys, gmConn, 120, 25*norman.Microsecond)
+
+	if *flood {
+		leaky := sys.Spawn(charlie, "leakyd")
+		leakConn, err := sys.Dial(leaky, 9999, 99)
+		if err != nil {
+			log.Fatalf("normand: leakyd dial: %v", err)
+		}
+		w := sys.World()
+		target := uint32(0)
+		var tick func()
+		tick = func() {
+			target++
+			leakConn.SendRaw(packet.NewARPRequest(w.HostMAC, w.HostIP,
+				packet.MakeIP(10, 0, byte(target>>8), byte(target))))
+			sys.After(30*norman.Microsecond, tick)
+		}
+		sys.At(0, tick)
+	}
+
+	srv := ctl.NewServer(sys)
+	fmt.Printf("normand: %s host up, %d demo processes, control socket %s\n",
+		sys.ArchitectureName(), len(sys.Netstat()), *socket)
+	if *flood {
+		fmt.Println("normand: the ARP flooder is active — find it with ntcpdump/narp")
+	}
+	if err := srv.Listen(*socket); err != nil {
+		fmt.Fprintf(os.Stderr, "normand: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loop schedules an endless fixed-interval sender on a connection.
+func loop(sys *norman.System, c *norman.Conn, payload int, every norman.Duration) {
+	var tick func()
+	tick = func() {
+		c.Send(payload)
+		sys.After(every, tick)
+	}
+	sys.At(0, tick)
+}

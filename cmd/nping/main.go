@@ -1,0 +1,53 @@
+// Command nping pings from a running normand's kernel — the most basic
+// liveness tool an administrator has, and one more §2 casualty: it only
+// works where the kernel can still originate and receive dataplane traffic
+// (kernelstack, sidecar, KOPI; try `normand -arch bypass` and watch it
+// fail).
+//
+//	nping 10.0.0.2
+//	nping -c 5 10.0.0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"norman/internal/ctl"
+)
+
+func main() {
+	socket := flag.String("socket", ctl.DefaultSocket, "normand control socket")
+	count := flag.Int("c", 3, "number of echoes")
+	flag.Parse()
+
+	dst := "10.0.0.2"
+	if flag.NArg() > 0 {
+		dst = flag.Arg(0)
+	}
+
+	c, err := ctl.Dial(*socket)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	var data ctl.PingData
+	if err := c.Call(ctl.OpPing, ctl.PingArgs{Dst: dst, Count: *count}, &data); err != nil {
+		fatal(err)
+	}
+	for i, rtt := range data.RTTs {
+		fmt.Printf("%d bytes from %s: icmp_seq=%d time=%s (virtual)\n", 56, dst, i+1, rtt)
+	}
+	loss := 100 * (data.Sent - data.Received) / data.Sent
+	fmt.Printf("--- %s ping statistics ---\n", dst)
+	fmt.Printf("%d transmitted, %d received, %d%% packet loss\n", data.Sent, data.Received, loss)
+	if data.Received == 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nping: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command ntc configures the egress scheduler on a running normand — the
+// paper's QoS scenario as a tool. Classification is by owning user id,
+// which only an OS-integrated interposition point can do.
+//
+//	ntc -qdisc wfq -class 1001=1 -class 1002=8      # bob weight 1, charlie 8
+//	ntc -qdisc tbf -rate-gbps 1                      # cap everything at 1G
+//	ntc -show
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"norman/internal/ctl"
+)
+
+// classFlags collects repeated -class uid=weight arguments.
+type classFlags map[uint32]float64
+
+func (c classFlags) String() string { return fmt.Sprintf("%v", map[uint32]float64(c)) }
+
+func (c classFlags) Set(s string) error {
+	uidStr, wStr, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want uid=weight, got %q", s)
+	}
+	uid, err := strconv.ParseUint(uidStr, 10, 32)
+	if err != nil {
+		return err
+	}
+	w, err := strconv.ParseFloat(wStr, 64)
+	if err != nil {
+		return err
+	}
+	c[uint32(uid)] = w
+	return nil
+}
+
+func main() {
+	socket := flag.String("socket", ctl.DefaultSocket, "normand control socket")
+	qdisc := flag.String("qdisc", "", "install qdisc: wfq, drr, tbf, prio, pfifo")
+	rate := flag.Float64("rate-gbps", 0, "tbf rate in Gbit/s")
+	burst := flag.Float64("burst-kb", 64, "tbf burst in KiB")
+	show := flag.Bool("show", false, "show current qdisc")
+	classes := classFlags{}
+	flag.Var(classes, "class", "uid=weight class mapping (repeatable)")
+	flag.Parse()
+
+	c, err := ctl.Dial(*socket)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch {
+	case *show:
+		var desc string
+		if err := c.Call(ctl.OpTCShow, nil, &desc); err != nil {
+			fatal(err)
+		}
+		fmt.Println(desc)
+	case *qdisc != "":
+		args := ctl.TCArgs{
+			Kind:       *qdisc,
+			Weights:    map[uint32]float64{},
+			ClassOfUID: map[uint32]uint32{},
+			RateBps:    *rate * 1e9 / 8,
+			BurstBytes: *burst * 1024,
+		}
+		class := uint32(1)
+		for uid, w := range classes {
+			args.Weights[class] = w
+			args.ClassOfUID[uid] = class
+			class++
+		}
+		if err := c.Call(ctl.OpTCSet, args, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("qdisc %s installed\n", *qdisc)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ntc: %v\n", err)
+	os.Exit(1)
+}

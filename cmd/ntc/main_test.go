@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestClassFlags(t *testing.T) {
+	c := classFlags{}
+	if err := c.Set("1001=8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("1002=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if c[1001] != 8 || c[1002] != 0.5 {
+		t.Fatalf("parsed: %v", c)
+	}
+	for _, bad := range []string{"nope", "x=1", "1=-?", "=", "1001="} {
+		if err := c.Set(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+	if c.String() == "" {
+		t.Fatal("String must render")
+	}
+}

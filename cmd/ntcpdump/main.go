@@ -1,0 +1,74 @@
+// Command ntcpdump captures traffic on a running normand with a
+// tcpdump-style filter expression — including the Norman process-view
+// extensions (uid/pid/cmd) where the architecture supports them — and
+// optionally writes a standard pcap file.
+//
+//	ntcpdump arp                         # start capturing ARP
+//	ntcpdump -advance 50 -fetch          # run 50ms of virtual time, print
+//	ntcpdump -fetch -w out.pcap          # also write a pcap
+package main
+
+import (
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"norman/internal/ctl"
+)
+
+func main() {
+	socket := flag.String("socket", ctl.DefaultSocket, "normand control socket")
+	fetch := flag.Bool("fetch", false, "fetch and print captured records")
+	advance := flag.Int("advance", 0, "advance virtual time by this many ms first")
+	pcapOut := flag.String("w", "", "write captured packets to this pcap file")
+	flag.Parse()
+
+	c, err := ctl.Dial(*socket)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	if expr := strings.Join(flag.Args(), " "); expr != "" || (!*fetch && *pcapOut == "") {
+		if err := c.Call(ctl.OpDumpStart, ctl.DumpArgs{Expr: expr}, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("capturing: %q\n", expr)
+	}
+	if *advance > 0 {
+		if err := c.Call(ctl.OpAdvance, ctl.AdvanceArgs{Millis: *advance}, nil); err != nil {
+			fatal(err)
+		}
+	}
+	if *fetch {
+		var recs []ctl.DumpRecord
+		if err := c.Call(ctl.OpDumpFetch, nil, &recs); err != nil {
+			fatal(err)
+		}
+		for _, r := range recs {
+			fmt.Printf("%-12s %-52s [%s]\n", r.At, r.Summary, r.Attribution)
+		}
+		fmt.Printf("%d packets captured\n", len(recs))
+	}
+	if *pcapOut != "" {
+		var blob ctl.PcapData
+		if err := c.Call(ctl.OpDumpPcap, nil, &blob); err != nil {
+			fatal(err)
+		}
+		raw, err := base64.StdEncoding.DecodeString(blob.Base64)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*pcapOut, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d packets to %s\n", blob.Count, *pcapOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ntcpdump: %v\n", err)
+	os.Exit(1)
+}

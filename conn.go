@@ -1,0 +1,118 @@
+package norman
+
+import (
+	"fmt"
+
+	"norman/internal/arch"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// Conn is an application connection: the §4.3 object. Opening one goes
+// through the kernel control plane (which allocates rings and programs the
+// NIC on ring-based architectures); sending and receiving afterwards touch
+// only whatever dataplane the architecture provides.
+type Conn struct {
+	sys  *System
+	c    *arch.Conn
+	flow packet.FlowKey
+}
+
+// Dial opens a UDP connection from proc's local port to the peer's remote
+// port (connect(2) in the paper's sketch).
+func (s *System) Dial(proc *Process, localPort, remotePort uint16) (*Conn, error) {
+	flow := s.kernFlow(localPort, remotePort)
+	c, err := s.a.Connect(proc.p, flow)
+	if err != nil {
+		return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
+	}
+	return &Conn{sys: s, c: c, flow: flow}, nil
+}
+
+// DialTCP opens a TCP-keyed connection (for reliable transfers via
+// StartTransfer; the stream machinery itself runs in the library).
+func (s *System) DialTCP(proc *Process, localPort, remotePort uint16) (*Conn, error) {
+	flow := s.kernFlow(localPort, remotePort)
+	flow.Proto = packet.ProtoTCP
+	c, err := s.a.Connect(proc.p, flow)
+	if err != nil {
+		return nil, fmt.Errorf("norman: dial tcp %s: %w", flow, err)
+	}
+	return &Conn{sys: s, c: c, flow: flow}, nil
+}
+
+// Close releases the connection.
+func (c *Conn) Close() error { return c.sys.a.Close(c.c) }
+
+// ID returns the kernel connection id.
+func (c *Conn) ID() uint64 { return c.c.Info.ID }
+
+// Send transmits one datagram with the given payload size.
+func (c *Conn) Send(payload int) {
+	c.sys.a.Send(c.c, c.sys.w.UDPTo(c.flow, payload))
+}
+
+// SendBatch transmits a burst, letting the architecture amortize what it
+// can (doorbells, syscalls).
+func (c *Conn) SendBatch(payload, count int) {
+	pkts := make([]*packet.Packet, count)
+	for i := range pkts {
+		pkts[i] = c.sys.w.UDPTo(c.flow, payload)
+	}
+	c.sys.a.SendBatch(c.c, pkts)
+}
+
+// SendRaw transmits an arbitrary pre-built frame — the kernel-bypass
+// freedom (and hazard) the paper's §2 scenarios hinge on: on ring-based
+// architectures nothing stops an application from emitting frames that
+// do not match its connection.
+func (c *Conn) SendRaw(p *packet.Packet) {
+	c.sys.a.Send(c.c, p)
+}
+
+// OnReceive installs the delivery handler for this connection.
+func (c *Conn) OnReceive(fn func(Delivery)) {
+	c.sys.mux.Handle(c.c, func(_ *arch.Conn, p *packet.Packet, at sim.Time) {
+		d := Delivery{Payload: p.PayloadLen, At: sim.Duration(at)}
+		if p.IP != nil {
+			port := uint16(0)
+			if p.UDP != nil {
+				port = p.UDP.SrcPort
+			}
+			d.From = fmt.Sprintf("%s:%d", p.IP.Src, port)
+		}
+		fn(d)
+	})
+}
+
+// SetBlocking selects blocking receive (true) or polling (false). Blocking
+// needs an architecture where the kernel can observe arrivals (§2's process
+// scheduling scenario); where it cannot, an error wrapping
+// arch.ErrUnsupported is returned and the connection stays in poll mode.
+func (c *Conn) SetBlocking(block bool) error {
+	mode := arch.RxPoll
+	if block {
+		mode = arch.RxBlock
+	}
+	return c.sys.a.SetRxMode(c.c, mode)
+}
+
+// Delivered returns how many packets this connection's application has
+// consumed.
+func (c *Conn) Delivered() uint64 { return c.c.Delivered }
+
+// SetRateLimit installs a per-connection egress rate limit (bytes/second)
+// enforced by the NIC's pacing engine — the SENIC/PicNIC-style offload the
+// paper folds into KOPI. It requires a ring-dataplane architecture (the
+// connection must own NIC queues); rate <= 0 clears the limit.
+func (c *Conn) SetRateLimit(bytesPerSecond float64) error {
+	if c.c.NC == nil {
+		return fmt.Errorf("norman: rate limit: %w", arch.ErrUnsupported)
+	}
+	// One millisecond of burst, floored at a full frame.
+	burst := bytesPerSecond / 1000
+	if burst < 1514 {
+		burst = 1514
+	}
+	return c.sys.w.NIC.SetConnRate(c.c.Info.ID, bytesPerSecond, burst)
+}

@@ -1,0 +1,3 @@
+module norman
+
+go 1.22

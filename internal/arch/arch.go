@@ -1,0 +1,135 @@
+// Package arch implements the five dataplane architectures the paper
+// compares, over the shared substrates (sim, timing, cache, mem, nic,
+// filter, qos, sniff, kernel):
+//
+//   - kernelstack — the traditional in-kernel dataplane: syscalls, copies,
+//     software netfilter/qdisc. Two transfers, virtual data movement.
+//   - bypass — DPDK/Arrakis-style raw kernel bypass: rings + doorbells, no
+//     interposition point at all.
+//   - sidecar — IX/Snap-style dedicated dataplane core: interposition in
+//     software on another core. Two transfers, physical data movement,
+//     burns a core.
+//   - hypervisor — AccelNet-style NIC switch: on-NIC flow-table policies,
+//     but no process view and no way to signal processes.
+//   - kopi — the paper's proposal: on-NIC interposition configured by the
+//     kernel, with trusted per-connection process metadata, notification
+//     queues and loadable overlay programs.
+//
+// Each architecture exposes the same Arch interface so the experiments can
+// sweep across them; operations an architecture cannot support return
+// ErrUnsupported (or filter.ErrNeedsProcessView), which is itself the E2
+// result.
+package arch
+
+import (
+	"errors"
+
+	"norman/internal/filter"
+	"norman/internal/kernel"
+	"norman/internal/nic"
+	"norman/internal/packet"
+	"norman/internal/qos"
+	"norman/internal/sim"
+	"norman/internal/sniff"
+)
+
+// ErrUnsupported marks an administrative capability an architecture cannot
+// provide at any price — the paper's manageability gap.
+var ErrUnsupported = errors.New("arch: operation unsupported by this architecture")
+
+// RxMode selects how the owning application learns about arrivals.
+type RxMode uint8
+
+// Receive modes.
+const (
+	RxPoll  RxMode = iota // spin on the ring (burns the core)
+	RxBlock               // sleep; the kernel wakes the thread (needs arrival visibility)
+)
+
+func (m RxMode) String() string {
+	if m == RxBlock {
+		return "block"
+	}
+	return "poll"
+}
+
+// Caps describes what an architecture's interposition point can do; E2
+// renders these (verified behaviorally, not just declared) as the paper's
+// scenario matrix.
+type Caps struct {
+	OwnerFiltering     bool // iptables --uid-owner/--cmd-owner
+	GlobalCapture      bool // tcpdump over all applications
+	CaptureAttribution bool // captures carry pid/uid/cmd
+	ProcessQoS         bool // per-process/user shaping (WFQ by uid)
+	FlowQoS            bool // 5-tuple shaping only
+	BlockingIO         bool // apps can sleep until arrival
+	ARPVisibility      bool // kernel ARP cache sees dataplane ARP
+	Transfers          int  // per-packet data transfers app->NIC
+	BurnsCore          bool // a core is dedicated to the dataplane
+}
+
+// Conn is an application connection handle on some architecture.
+type Conn struct {
+	Info *kernel.ConnInfo
+	NC   *nic.Conn // direct NIC rings, nil when the kernel owns the datapath
+	Mode RxMode
+
+	// Delivered counts packets handed to the application.
+	Delivered uint64
+	// LastDeliver is the virtual time of the most recent delivery.
+	LastDeliver sim.Time
+}
+
+// DeliverFunc is the application-receive upcall. It runs after all
+// architecture-side receive costs have been charged.
+type DeliverFunc func(c *Conn, p *packet.Packet, at sim.Time)
+
+// Arch is the uniform surface the experiments drive.
+type Arch interface {
+	Name() string
+	Caps() Caps
+	World() *World
+
+	// Connect opens a connection for proc with the given local->remote
+	// flow, allocating whatever the dataplane needs (§4.3).
+	Connect(proc *kernel.Process, flow packet.FlowKey) (*Conn, error)
+	// Close releases the connection.
+	Close(c *Conn) error
+	// Send transmits one packet on the connection, charging the full
+	// architecture-specific TX path.
+	Send(c *Conn, p *packet.Packet)
+	// SendBatch transmits a burst, amortizing whatever the architecture
+	// can amortize (one doorbell per burst on ring dataplanes, one
+	// sendmmsg-style syscall on the kernel stack).
+	SendBatch(c *Conn, pkts []*packet.Packet)
+	// SetDeliver installs the application receive upcall.
+	SetDeliver(fn DeliverFunc)
+	// SetRxMode selects poll or block delivery; RxBlock fails where the
+	// kernel cannot see arrivals.
+	SetRxMode(c *Conn, mode RxMode) error
+
+	// DeliverWire injects a frame arriving from the network.
+	DeliverWire(p *packet.Packet)
+
+	// InstallRule adds a firewall rule at the architecture's interposition
+	// point, if it has one.
+	InstallRule(h filter.Hook, r *filter.Rule) error
+	// FlushRules removes all firewall rules.
+	FlushRules() error
+	// RuleHits returns how many packets matched the idx'th rule of a hook
+	// (the `iptables -L -v` column); ok is false where the architecture
+	// keeps no such state.
+	RuleHits(h filter.Hook, idx int) (uint64, bool)
+	// SetQdisc installs an egress scheduler with a classifier at the
+	// interposition point.
+	SetQdisc(q qos.Qdisc, classify func(*packet.Packet) uint32) error
+	// AttachTap installs a capture tap with a filter expression.
+	AttachTap(e *sniff.Expr) (*sniff.Tap, error)
+
+	// Ping sends one kernel-originated ICMP echo to dst and reports the
+	// round trip. It requires an architecture whose kernel can both send
+	// management frames and *see the reply* — under raw bypass and the
+	// hypervisor switch the reply lands in no one's queue, so Ping returns
+	// ErrUnsupported (the admin's oldest tool, gone).
+	Ping(dst packet.IPv4, payload int, done func(rtt sim.Duration, ok bool)) error
+}

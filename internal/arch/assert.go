@@ -1,0 +1,46 @@
+package arch
+
+// Compile-time checks that every architecture satisfies Arch.
+var (
+	_ Arch = (*KernelStack)(nil)
+	_ Arch = (*Bypass)(nil)
+	_ Arch = (*Sidecar)(nil)
+	_ Arch = (*Hypervisor)(nil)
+	_ Arch = (*KOPI)(nil)
+)
+
+// All returns a fresh instance of every architecture, each on its own world
+// built with the given config — the sweep the experiments iterate.
+func All(cfg WorldConfig) []Arch {
+	return []Arch{
+		NewKernelStack(NewWorld(cfg)),
+		NewBypass(NewWorld(cfg)),
+		NewSidecar(NewWorld(cfg)),
+		NewHypervisor(NewWorld(cfg)),
+		NewKOPI(NewWorld(cfg)),
+	}
+}
+
+// New constructs one architecture by name on a fresh world; unknown names
+// return nil.
+func New(name string, cfg WorldConfig) Arch {
+	switch name {
+	case "kernelstack":
+		return NewKernelStack(NewWorld(cfg))
+	case "bypass":
+		return NewBypass(NewWorld(cfg))
+	case "sidecar":
+		return NewSidecar(NewWorld(cfg))
+	case "hypervisor":
+		return NewHypervisor(NewWorld(cfg))
+	case "kopi":
+		return NewKOPI(NewWorld(cfg))
+	default:
+		return nil
+	}
+}
+
+// Names lists the architectures in canonical comparison order.
+func Names() []string {
+	return []string{"kernelstack", "bypass", "sidecar", "hypervisor", "kopi"}
+}

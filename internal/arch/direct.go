@@ -1,0 +1,204 @@
+package arch
+
+import (
+	"fmt"
+
+	"norman/internal/core"
+	"norman/internal/filter"
+	"norman/internal/kernel"
+	"norman/internal/mem"
+	"norman/internal/nic"
+	"norman/internal/packet"
+	"norman/internal/qos"
+	"norman/internal/sim"
+	"norman/internal/sniff"
+)
+
+// direct is the shared machinery of the three architectures whose
+// applications own NIC rings outright (bypass, hypervisor, kopi): one
+// transfer per packet, MMIO doorbells, poll-mode receive by default.
+type direct struct {
+	base
+	trusted bool // kernel programs trusted process metadata into the NIC
+
+	// Firewall source of truth; the engine compiles it to overlay programs.
+	fw *filter.Engine
+	// engine is the KOPI interposition engine (internal/core) — the
+	// kernel↔NIC configuration protocol. The hypervisor uses the same
+	// engine without a process view, which is the paper's comparison.
+	engine core.Interposer
+}
+
+// init wires the direct machinery into a world. It must be called on the
+// final (heap) location of the struct: the NIC callbacks capture d, so a
+// copy after init would strand them on the old value.
+func (d *direct) init(w *World, trusted, processView bool) {
+	d.base = newBase(w)
+	d.trusted = trusted
+	d.fw = filter.NewEngine(processView)
+	d.engine = core.Interposer{NIC: w.NIC, Kern: w.Kern, ProcessView: processView}
+	w.NIC.OnRxDeliver = d.onRxDeliver
+	w.NIC.OnTransmit = w.SendOnWire
+}
+
+// Connect implements the §4.3 setup path: the application asks the kernel,
+// the kernel registers the connection, allocates rings on the NIC, installs
+// steering, and (KOPI only) programs the trusted metadata.
+func (d *direct) Connect(proc *kernel.Process, flow packet.FlowKey) (*Conn, error) {
+	ci, err := d.w.Kern.RegisterConn(proc, flow)
+	if err != nil {
+		return nil, err
+	}
+	meta := packet.Meta{ConnID: ci.ID}
+	var queue *mem.NotifyQueue
+	if d.trusted {
+		meta = d.w.Kern.Meta(ci)
+		queue = proc.Queue
+	}
+	nc, err := d.w.NIC.OpenConn(ci.ID, meta, queue)
+	if err != nil {
+		uerr := d.w.Kern.UnregisterConn(ci.ID)
+		_ = uerr
+		return nil, fmt.Errorf("arch: opening NIC conn: %w", err)
+	}
+	if err := d.w.NIC.SteerFlow(flow, ci.ID); err != nil {
+		_ = d.w.NIC.CloseConn(ci.ID)
+		_ = d.w.Kern.UnregisterConn(ci.ID)
+		return nil, fmt.Errorf("arch: steering: %w", err)
+	}
+	c := &Conn{Info: ci, NC: nc, Mode: RxPoll}
+	d.register(c)
+	d.w.MarkPoller(d.w.Core(proc.PID))
+	return c, nil
+}
+
+// Close implements Arch.
+func (d *direct) Close(c *Conn) error {
+	d.unregister(c)
+	if err := d.w.NIC.CloseConn(c.Info.ID); err != nil {
+		return err
+	}
+	return d.w.Kern.UnregisterConn(c.Info.ID)
+}
+
+// Send implements the one-transfer, zero-copy TX path: the application
+// builds the payload in the pinned buffer in place, stages a descriptor, and
+// rings the doorbell. The doorbell MMIO is only paid when the ring was idle —
+// while a drain is in flight the NIC picks new descriptors up by itself, the
+// batching every kernel-bypass runtime relies on.
+func (d *direct) Send(c *Conn, p *packet.Packet) {
+	m := d.w.Model
+	core := d.w.Core(c.Info.PID)
+	now := d.w.Eng.Now()
+	hdr := p.FrameLen()
+	if hdr > 128 {
+		hdr = 128
+	}
+	cost := m.Cycles(60) +
+		d.memTouch(c.NC.TX.HeadAddr(), 64) +
+		d.memTouch(d.w.NIC.BufAddr(c.NC, c.NC.TX.Head(), false), hdr)
+	if c.NC.TX.Empty() {
+		cost += sim.Duration(m.MMIOWrite)
+	}
+	_, done := core.Acquire(now, cost)
+	d.w.Eng.At(done, func() {
+		if err := c.NC.TX.Push(mem.Desc{Pkt: p, Produced: d.w.Eng.Now()}); err != nil {
+			d.TxAppDrops++
+			return
+		}
+		d.w.NIC.DoorbellTx(c.NC)
+	})
+}
+
+// SendBatch stages a whole burst and rings the doorbell once — the
+// tx_burst() pattern every kernel-bypass runtime uses, and the reason the
+// per-packet MMIO cost does not throttle saturated senders.
+func (d *direct) SendBatch(c *Conn, pkts []*packet.Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	m := d.w.Model
+	core := d.w.Core(c.Info.PID)
+	now := d.w.Eng.Now()
+	var cost sim.Duration
+	for i, p := range pkts {
+		hdr := p.FrameLen()
+		if hdr > 128 {
+			hdr = 128
+		}
+		idx := c.NC.TX.Head() + uint64(i)
+		cost += m.Cycles(60) +
+			d.memTouch(c.NC.TX.SlotAddr(idx), 64) +
+			d.memTouch(d.w.NIC.BufAddr(c.NC, idx, false), hdr)
+	}
+	cost += sim.Duration(m.MMIOWrite) // one tail-pointer write for the burst
+	_, done := core.Acquire(now, cost)
+	batch := append([]*packet.Packet(nil), pkts...)
+	d.w.Eng.At(done, func() {
+		for _, p := range batch {
+			if err := c.NC.TX.Push(mem.Desc{Pkt: p, Produced: d.w.Eng.Now()}); err != nil {
+				d.TxAppDrops++
+			}
+		}
+		d.w.NIC.DoorbellTx(c.NC)
+	})
+}
+
+// DeliverWire implements Arch.
+func (d *direct) DeliverWire(p *packet.Packet) { d.w.NIC.DeliverFromWire(p) }
+
+// onRxDeliver consumes packets landed in RX rings. Poll-mode connections
+// consume immediately (their poll loop is always running); block-mode
+// connections are drained by the notification wake path instead.
+func (d *direct) onRxDeliver(nc *nic.Conn, at sim.Time) {
+	c, ok := d.connFor(nc.ID)
+	if !ok || c.Mode != RxPoll {
+		return
+	}
+	slotAddr := nc.RX.TailAddr()
+	desc, err := nc.RX.Pop()
+	if err != nil {
+		return
+	}
+	d.deliverPolled(c, desc.Pkt, at, d.appRxCost(c, desc.Pkt, slotAddr))
+}
+
+// SetRxMode implements Arch for the poll-only architectures; kopi overrides
+// it to add blocking.
+func (d *direct) SetRxMode(c *Conn, mode RxMode) error {
+	if mode == RxBlock {
+		return fmt.Errorf("%w: kernel cannot observe dataplane arrivals to wake threads", ErrUnsupported)
+	}
+	c.Mode = RxPoll
+	d.w.MarkPoller(d.w.Core(c.Info.PID))
+	return nil
+}
+
+// reloadPrograms recompiles both firewall chains onto the NIC pipelines via
+// the KOPI engine, returning the control-plane load latency.
+func (d *direct) reloadPrograms() (sim.Duration, error) {
+	return d.engine.DeployChains(d.fw)
+}
+
+// RuleHits reads the idx'th rule's hit counter from the compiled overlay
+// program on the hook's pipeline.
+func (d *direct) RuleHits(h filter.Hook, idx int) (uint64, bool) {
+	return d.engine.RuleHits(d.fw, h, idx)
+}
+
+// SetQdisc installs an egress scheduler on the NIC.
+func (d *direct) SetQdisc(q qos.Qdisc, classify func(*packet.Packet) uint32) error {
+	d.engine.SetScheduler(q, classify)
+	return nil
+}
+
+// Ping implements Arch for the architectures whose kernel cannot see an
+// echo reply (it would land unsteered and be dropped): unsupported.
+func (d *direct) Ping(dst packet.IPv4, payload int, done func(sim.Duration, bool)) error {
+	return fmt.Errorf("%w: the kernel cannot receive ICMP replies on this dataplane", ErrUnsupported)
+}
+
+// attachNICTap installs a tap on the NIC pipeline.
+func (d *direct) attachNICTap(e *sniff.Expr) (*sniff.Tap, error) {
+	return d.engine.AttachTap(e), nil
+}

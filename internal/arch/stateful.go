@@ -1,0 +1,17 @@
+package arch
+
+// Thin delegations to the KOPI engine (internal/core), which owns the
+// stateful-firewall programs and their shared-table deployment.
+
+// EnableStatefulFirewall loads the NIC-resident connection-tracking
+// firewall; see core.Interposer.EnableStatefulFirewall.
+func (a *KOPI) EnableStatefulFirewall(capacity int) error {
+	return a.engine.EnableStatefulFirewall(capacity)
+}
+
+// StatefulEstablished returns the number of tracked connections, or -1 if
+// the stateful firewall is not loaded.
+func (a *KOPI) StatefulEstablished() int { return a.engine.StatefulEstablished() }
+
+// StatefulRejected returns inbound packets dropped for lack of state.
+func (a *KOPI) StatefulRejected() uint64 { return a.engine.StatefulRejected() }

@@ -1,0 +1,137 @@
+package arch
+
+import (
+	"testing"
+
+	"norman/internal/filter"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// TestStatefulFirewallAdmitsOnlyInitiatedFlows: inbound traffic is accepted
+// only after the connection has sent something — per-connection state on
+// the NIC, shared between the egress (insert) and ingress (check) stages.
+func TestStatefulFirewallAdmitsOnlyInitiatedFlows(t *testing.T) {
+	a := New("kopi", WorldConfig{}).(*KOPI)
+	w := a.World()
+	w.Peer = func(*packet.Packet, sim.Time) {}
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "p")
+	active, err := a.Connect(proc, w.Flow(1000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	passive, err := a.Connect(proc, w.Flow(2000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnableStatefulFirewall(64); err != nil {
+		t.Fatal(err)
+	}
+
+	delivered := map[uint64]int{}
+	a.SetDeliver(func(c *Conn, _ *packet.Packet, _ sim.Time) { delivered[c.Info.ID]++ })
+
+	// The active connection sends first; the passive one never does.
+	a.Send(active, w.UDPTo(w.Flow(1000, 7), 64))
+	w.Eng.Run()
+	if a.StatefulEstablished() != 1 {
+		t.Fatalf("established = %d", a.StatefulEstablished())
+	}
+
+	a.DeliverWire(w.UDPFrom(w.Flow(1000, 7), 64))
+	a.DeliverWire(w.UDPFrom(w.Flow(2000, 7), 64))
+	w.Eng.Run()
+
+	if delivered[active.Info.ID] != 1 {
+		t.Fatalf("initiated flow should receive: %v", delivered)
+	}
+	if delivered[passive.Info.ID] != 0 {
+		t.Fatalf("uninitiated flow must be dropped: %v", delivered)
+	}
+	if a.StatefulRejected() != 1 {
+		t.Fatalf("rejected = %d", a.StatefulRejected())
+	}
+}
+
+// TestStatefulFirewallTableExhaustion: with a 1-entry table, the second
+// connection's state cannot be inserted and its return traffic is lost —
+// the §5 resource-exhaustion failure mode, observable and countable.
+func TestStatefulFirewallTableExhaustion(t *testing.T) {
+	a := New("kopi", WorldConfig{}).(*KOPI)
+	w := a.World()
+	w.Peer = func(*packet.Packet, sim.Time) {}
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "p")
+	c1, _ := a.Connect(proc, w.Flow(1000, 7))
+	c2, _ := a.Connect(proc, w.Flow(2000, 7))
+	if err := a.EnableStatefulFirewall(1); err != nil {
+		t.Fatal(err)
+	}
+
+	delivered := map[uint64]int{}
+	a.SetDeliver(func(c *Conn, _ *packet.Packet, _ sim.Time) { delivered[c.Info.ID]++ })
+
+	a.Send(c1, w.UDPTo(w.Flow(1000, 7), 64))
+	a.Send(c2, w.UDPTo(w.Flow(2000, 7), 64))
+	w.Eng.Run()
+	if a.StatefulEstablished() != 1 {
+		t.Fatalf("table should cap at 1: %d", a.StatefulEstablished())
+	}
+
+	a.DeliverWire(w.UDPFrom(w.Flow(1000, 7), 64))
+	a.DeliverWire(w.UDPFrom(w.Flow(2000, 7), 64))
+	w.Eng.Run()
+	total := delivered[c1.Info.ID] + delivered[c2.Info.ID]
+	if total != 1 {
+		t.Fatalf("exactly one flow fits the table: %v", delivered)
+	}
+	if a.StatefulRejected() != 1 {
+		t.Fatalf("rejected = %d", a.StatefulRejected())
+	}
+}
+
+// TestKernelStackStatefulRules: the software counterpart — a default-deny
+// INPUT chain with an ESTABLISHED exception, enforced by the in-kernel
+// conntrack on the kernelstack architecture.
+func TestKernelStackStatefulRules(t *testing.T) {
+	a := New("kernelstack", WorldConfig{}).(*KernelStack)
+	w := a.World()
+	w.Peer = func(*packet.Packet, sim.Time) {}
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "p")
+	flow := w.Flow(1000, 7)
+	c, err := a.Connect(proc, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InstallRule(filter.HookInput, &filter.Rule{
+		State: filter.State(filter.StateEstablished), Action: filter.ActAccept,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InstallRule(filter.HookInput, &filter.Rule{Action: filter.ActDrop}); err != nil {
+		t.Fatal(err)
+	}
+
+	delivered := 0
+	a.SetDeliver(func(*Conn, *packet.Packet, sim.Time) { delivered++ })
+
+	// Unsolicited inbound: dropped by the default-deny.
+	a.DeliverWire(w.UDPFrom(flow, 64))
+	w.Eng.Run()
+	if delivered != 0 {
+		t.Fatal("unsolicited inbound must be dropped")
+	}
+	// After we talk first, the reply direction is established.
+	a.Send(c, w.UDPTo(flow, 64))
+	w.Eng.Run()
+	a.DeliverWire(w.UDPFrom(flow, 64))
+	w.Eng.Run()
+	if delivered != 1 {
+		t.Fatalf("established reply should be delivered: %d", delivered)
+	}
+}

@@ -1,0 +1,181 @@
+package arch
+
+import (
+	"fmt"
+
+	"norman/internal/cache"
+	"norman/internal/kernel"
+	"norman/internal/mem"
+	"norman/internal/nic"
+	"norman/internal/packet"
+	"norman/internal/sim"
+	"norman/internal/timing"
+)
+
+// World is the simulated machine every architecture is built on: one host
+// (cores, LLC, kernel control plane), one SmartNIC, and a wire whose far end
+// the experiment supplies.
+type World struct {
+	Eng   *sim.Engine
+	Model timing.Model
+	LLC   *cache.LLC
+	Alloc *mem.Alloc
+	Kern  *kernel.Kernel
+	NIC   *nic.NIC
+
+	// Host addressing.
+	HostMAC packet.MAC
+	HostIP  packet.IPv4
+	PeerMAC packet.MAC
+	PeerIP  packet.IPv4
+
+	// Peer receives frames that left on the wire, after propagation. The
+	// experiment installs it (echo server, sink, traffic source...).
+	Peer func(p *packet.Packet, at sim.Time)
+
+	cores     map[uint32]*sim.Server // per-process app cores
+	kernCores []*sim.Server          // kernel / sidecar dataplane cores (softirq queues)
+	pollers   map[*sim.Server]bool   // cores pinned at 100% by poll loops
+}
+
+// WorldConfig parameterizes NewWorld; zero values take defaults.
+type WorldConfig struct {
+	Model      timing.Model
+	RingSize   int
+	BufBytes   int
+	SRAMBudget int
+	NoLLC      bool // disable cache modeling (DDIO ablation)
+	// KernQueues is the number of kernel/softirq cores (multi-queue RSS on
+	// the kernel-stack architecture). 0 or 1 = single queue.
+	KernQueues int
+}
+
+// NewWorld builds a fresh world.
+func NewWorld(cfg WorldConfig) *World {
+	if cfg.Model.CPUHz == 0 {
+		cfg.Model = timing.Default()
+	}
+	eng := sim.NewEngine()
+	var llc *cache.LLC
+	if !cfg.NoLLC {
+		llc = cache.New(cache.Config{
+			TotalBytes: cfg.Model.LLCBytes,
+			Ways:       cfg.Model.LLCWays,
+			DDIOWays:   cfg.Model.DDIOWays,
+			LineBytes:  64,
+		})
+	}
+	alloc := mem.NewAlloc()
+	nKern := cfg.KernQueues
+	if nKern < 1 {
+		nKern = 1
+	}
+	kernCores := make([]*sim.Server, nKern)
+	for i := range kernCores {
+		kernCores[i] = sim.NewServer(fmt.Sprintf("core.kernel%d", i))
+	}
+	w := &World{
+		Eng:       eng,
+		Model:     cfg.Model,
+		LLC:       llc,
+		Alloc:     alloc,
+		Kern:      kernel.New(eng, cfg.Model),
+		HostMAC:   packet.MAC{0x02, 0, 0, 0, 0, 1},
+		HostIP:    packet.MakeIP(10, 0, 0, 1),
+		PeerMAC:   packet.MAC{0x02, 0, 0, 0, 0, 2},
+		PeerIP:    packet.MakeIP(10, 0, 0, 2),
+		cores:     map[uint32]*sim.Server{},
+		kernCores: kernCores,
+		pollers:   map[*sim.Server]bool{},
+	}
+	w.NIC = nic.New(nic.Config{
+		Engine:     eng,
+		Model:      cfg.Model,
+		LLC:        llc,
+		Alloc:      alloc,
+		RingSize:   cfg.RingSize,
+		BufBytes:   cfg.BufBytes,
+		SRAMBudget: cfg.SRAMBudget,
+	})
+	return w
+}
+
+// Core returns (creating if needed) the core a process runs on.
+func (w *World) Core(pid uint32) *sim.Server {
+	c, ok := w.cores[pid]
+	if !ok {
+		c = sim.NewServer("core.app")
+		w.cores[pid] = c
+	}
+	return c
+}
+
+// KernCore returns the first kernel/sidecar dataplane core.
+func (w *World) KernCore() *sim.Server { return w.kernCores[0] }
+
+// KernCoreN returns the i'th kernel core (modulo the configured count).
+func (w *World) KernCoreN(i int) *sim.Server {
+	return w.kernCores[i%len(w.kernCores)]
+}
+
+// KernQueues returns the number of kernel cores.
+func (w *World) KernQueues() int { return len(w.kernCores) }
+
+// MarkPoller records that a core runs a poll loop and is therefore busy for
+// the whole experiment regardless of Server-accounted work.
+func (w *World) MarkPoller(c *sim.Server) { w.pollers[c] = true }
+
+// UnmarkPoller removes poll-pinning from a core.
+func (w *World) UnmarkPoller(c *sim.Server) { delete(w.pollers, c) }
+
+// CPUBusy returns total core-busy time across app cores and the kernel
+// core over [0, now]: poll-pinned cores count as fully busy, others by their
+// accounted service time.
+func (w *World) CPUBusy(now sim.Time) sim.Duration {
+	var total sim.Duration
+	add := func(c *sim.Server) {
+		if w.pollers[c] {
+			total += sim.Duration(now)
+			return
+		}
+		total += c.BusyTime()
+	}
+	for _, c := range w.cores {
+		add(c)
+	}
+	for _, c := range w.kernCores {
+		add(c)
+	}
+	return total
+}
+
+// SendOnWire is what architectures hook to nic.NIC.OnTransmit: it applies
+// wire propagation and hands the frame to the peer.
+func (w *World) SendOnWire(p *packet.Packet, at sim.Time) {
+	if w.Peer == nil {
+		return
+	}
+	w.Eng.At(at.Add(sim.Duration(w.Model.WireLatency)), func() {
+		w.Peer(p, w.Eng.Now())
+	})
+}
+
+// Flow builds the canonical local->remote UDP flow key for port pairs.
+func (w *World) Flow(localPort, remotePort uint16) packet.FlowKey {
+	return packet.FlowKey{
+		Src: w.HostIP, Dst: w.PeerIP,
+		SrcPort: localPort, DstPort: remotePort,
+		Proto: packet.ProtoUDP,
+	}
+}
+
+// UDPTo builds an outbound UDP packet on a flow.
+func (w *World) UDPTo(flow packet.FlowKey, payload int) *packet.Packet {
+	return packet.NewUDP(w.HostMAC, w.PeerMAC, flow.Src, flow.Dst, flow.SrcPort, flow.DstPort, payload)
+}
+
+// UDPFrom builds an inbound UDP packet for the reverse of a flow (a peer
+// response).
+func (w *World) UDPFrom(flow packet.FlowKey, payload int) *packet.Packet {
+	return packet.NewUDP(w.PeerMAC, w.HostMAC, flow.Dst, flow.Src, flow.DstPort, flow.SrcPort, payload)
+}

@@ -1,0 +1,137 @@
+// Package core is the paper's primary contribution: the KOPI engine — the
+// kernel-managed interposition layer that executes on the SmartNIC (§4).
+//
+// The engine owns the kernel↔NIC configuration protocol: it compiles
+// administrative state (netfilter chains) into verified overlay programs and
+// loads them onto the pipelines, installs schedulers and capture taps,
+// programs per-connection rate limits, and deploys canned dataplane
+// programs (the stateful firewall, mirrors, meters). The dataplane itself —
+// rings, DMA, pipelines — is the architecture-neutral `internal/nic`; what
+// makes it KOPI is this engine configuring it *with the kernel's authority
+// and the kernel's process view*.
+package core
+
+import (
+	"fmt"
+
+	"norman/internal/filter"
+	"norman/internal/kernel"
+	"norman/internal/nic"
+	"norman/internal/overlay"
+	"norman/internal/packet"
+	"norman/internal/qos"
+	"norman/internal/sim"
+	"norman/internal/sniff"
+)
+
+// Interposer is the KOPI engine: one per host, binding the in-kernel
+// control plane to the on-NIC dataplane.
+type Interposer struct {
+	NIC  *nic.NIC
+	Kern *kernel.Kernel
+
+	// ProcessView marks whether connections carry kernel-programmed
+	// trusted metadata. True for KOPI proper; false when the same engine
+	// drives a hypervisor-style switch (which is exactly the degradation
+	// the paper argues about).
+	ProcessView bool
+
+	// extra holds additional pipeline stages (telemetry samplers, meters)
+	// chained after the compiled firewall on each direction.
+	extra map[nic.Direction][]*overlay.Program
+}
+
+// AddStage appends an overlay stage to run after the firewall on one
+// pipeline; it takes effect at the next DeployChains. Stages compose by
+// overlay.Chain semantics: a firewall drop is final, passes flow onward.
+func (e *Interposer) AddStage(dir nic.Direction, p *overlay.Program) {
+	if e.extra == nil {
+		e.extra = map[nic.Direction][]*overlay.Program{}
+	}
+	e.extra[dir] = append(e.extra[dir], p)
+}
+
+// InternCmd returns the command-interning function owner-rule compilation
+// needs, or nil without a process view.
+func (e *Interposer) InternCmd() func(string) uint64 {
+	if !e.ProcessView || e.Kern == nil {
+		return nil
+	}
+	return func(cmd string) uint64 { return uint64(e.Kern.CommandID(cmd)) }
+}
+
+// DeployChains compiles both firewall chains onto the NIC pipelines (§4.4's
+// runtime configuration path: iptables → kernel → overlay program). Chains
+// that are empty with ACCEPT policy unload their pipeline's program. The
+// returned duration is the control-plane load latency (MMIO writes).
+func (e *Interposer) DeployChains(fw *filter.Engine) (sim.Duration, error) {
+	var total sim.Duration
+	type dirChain struct {
+		dir nic.Direction
+		h   filter.Hook
+	}
+	for _, dc := range []dirChain{{nic.Ingress, filter.HookInput}, {nic.Egress, filter.HookOutput}} {
+		ch := fw.Chain(dc.h)
+		extras := e.extra[dc.dir]
+		if len(ch.Rules) == 0 && ch.Policy == filter.ActAccept && len(extras) == 0 {
+			e.NIC.UnloadProgram(dc.dir)
+			continue
+		}
+		prog, err := filter.CompileOverlay(fmt.Sprintf("fw-%s", dc.h), ch, e.InternCmd())
+		if err != nil {
+			return total, err
+		}
+		if len(extras) > 0 {
+			stages := append([]*overlay.Program{prog}, extras...)
+			prog, err = overlay.Chain(fmt.Sprintf("pipeline-%s", dc.h), stages...)
+			if err != nil {
+				return total, err
+			}
+		}
+		_, load, err := e.NIC.LoadProgram(dc.dir, prog)
+		if err != nil {
+			return total, err
+		}
+		total += load
+	}
+	return total, nil
+}
+
+// RuleHits reads the idx'th rule's hit counter from the compiled program on
+// the hook's pipeline (the `iptables -L -v` column, served from the NIC).
+func (e *Interposer) RuleHits(fw *filter.Engine, h filter.Hook, idx int) (uint64, bool) {
+	dir := nic.Ingress
+	if h == filter.HookOutput {
+		dir = nic.Egress
+	}
+	m := e.NIC.Machine(dir)
+	if m == nil || idx < 0 || idx >= len(fw.Chain(h).Rules) {
+		return 0, false
+	}
+	name := fmt.Sprintf("hit%d", idx)
+	if len(e.extra[dir]) > 0 {
+		name = "s0." + name // firewall is stage 0 of the chained pipeline
+	}
+	return m.Counter(name), true
+}
+
+// SetScheduler installs the egress qdisc and its classifier on the NIC.
+// The classifier sees the packet with whatever metadata the NIC stamped —
+// trusted process attribution under KOPI, nothing useful without it.
+func (e *Interposer) SetScheduler(q qos.Qdisc, classify func(p *packet.Packet) uint32) {
+	e.NIC.SetScheduler(q)
+	e.NIC.SetClassifier(classify)
+}
+
+// AttachTap installs a capture tap on the NIC pipeline.
+func (e *Interposer) AttachTap(expr *sniff.Expr) *sniff.Tap {
+	t := sniff.NewTap(expr, 0)
+	e.NIC.SetTap(t)
+	return t
+}
+
+// SetConnRate programs a per-connection egress pacer (rate in
+// bytes/second; rate <= 0 clears).
+func (e *Interposer) SetConnRate(connID uint64, rate, burst float64) error {
+	return e.NIC.SetConnRate(connID, rate, burst)
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"norman/internal/filter"
+	"norman/internal/kernel"
+	"norman/internal/nic"
+	"norman/internal/overlay"
+	"norman/internal/packet"
+	"norman/internal/sim"
+	"norman/internal/timing"
+)
+
+func newEngine(processView bool) (*Interposer, *sim.Engine) {
+	eng := sim.NewEngine()
+	n := nic.New(nic.Config{Engine: eng, Model: timing.Default(), RingSize: 16})
+	k := kernel.New(eng, timing.Default())
+	return &Interposer{NIC: n, Kern: k, ProcessView: processView}, eng
+}
+
+func udpTo(dport uint16) *packet.Packet {
+	return packet.NewUDP(packet.MAC{1}, packet.MAC{2}, packet.MakeIP(10, 0, 0, 2),
+		packet.MakeIP(10, 0, 0, 1), 99, dport, 64)
+}
+
+func TestDeployChainsLoadsAndUnloads(t *testing.T) {
+	e, _ := newEngine(true)
+	fw := filter.NewEngine(true)
+	if err := fw.Append(filter.HookOutput, &filter.Rule{
+		Proto: filter.Proto(packet.ProtoUDP), DstPorts: filter.Port(80),
+		Action: filter.ActDrop,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	load, err := e.DeployChains(fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load <= 0 {
+		t.Fatal("deploy must cost control-plane time")
+	}
+	if e.NIC.Machine(nic.Egress) == nil {
+		t.Fatal("egress program missing")
+	}
+	if e.NIC.Machine(nic.Ingress) != nil {
+		t.Fatal("empty ACCEPT ingress chain must not load a program")
+	}
+
+	fw.Flush(filter.HookOutput)
+	if _, err := e.DeployChains(fw); err != nil {
+		t.Fatal(err)
+	}
+	if e.NIC.Machine(nic.Egress) != nil {
+		t.Fatal("flushed chain must unload")
+	}
+}
+
+func TestDeployChainsOwnerRulesNeedProcessView(t *testing.T) {
+	// The engine without a process view has no interner; a cmd-owner rule
+	// cannot compile. (The filter.Engine guard normally rejects the rule
+	// first; this checks the engine's own defense in depth.)
+	e, _ := newEngine(false)
+	fw := filter.NewEngine(true) // bypass the front-door guard deliberately
+	_ = fw.Append(filter.HookOutput, &filter.Rule{OwnerCmd: "postgres", Action: filter.ActDrop})
+	if _, err := e.DeployChains(fw); err == nil {
+		t.Fatal("cmd-owner compilation without an interner must fail")
+	}
+	if e.InternCmd() != nil {
+		t.Fatal("no process view, no interner")
+	}
+}
+
+func TestRuleHitsCountMatches(t *testing.T) {
+	e, _ := newEngine(true)
+	fw := filter.NewEngine(true)
+	_ = fw.Append(filter.HookInput, &filter.Rule{
+		Proto: filter.Proto(packet.ProtoUDP), DstPorts: filter.Port(53),
+		Action: filter.ActDrop,
+	})
+	if _, err := e.DeployChains(fw); err != nil {
+		t.Fatal(err)
+	}
+	m := e.NIC.Machine(nic.Ingress)
+	for i := 0; i < 3; i++ {
+		m.Run(udpTo(53), overlay.NopEnv{})
+	}
+	m.Run(udpTo(54), overlay.NopEnv{})
+	hits, ok := e.RuleHits(fw, filter.HookInput, 0)
+	if !ok || hits != 3 {
+		t.Fatalf("hits = %d ok=%v", hits, ok)
+	}
+	if _, ok := e.RuleHits(fw, filter.HookInput, 5); ok {
+		t.Fatal("out-of-range index")
+	}
+}
+
+func TestSamplingMirrorProgram(t *testing.T) {
+	prog, err := overlay.Assemble("sample", SamplingMirrorProgram(3)) // 1 in 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := overlay.NewMachine(prog)
+	mirrored := 0
+	env := &countEnv{onMirror: func() { mirrored++ }}
+	for i := 0; i < 64; i++ {
+		if v, _ := m.Run(udpTo(80), env); v != overlay.VerdictPass {
+			t.Fatal("sampling must never drop")
+		}
+	}
+	if mirrored != 8 {
+		t.Fatalf("mirrored %d/64, want 8", mirrored)
+	}
+}
+
+func TestPortMeterProgram(t *testing.T) {
+	// 10 KB/s, burst 120 B: one minimum frame, then shed.
+	prog, err := overlay.Assemble("meter", PortMeterProgram(7777, 10e3, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := overlay.NewMachine(prog)
+	env := overlay.NopEnv{Time: 0}
+	if v, _ := m.Run(udpTo(7777), env); v != overlay.VerdictPass {
+		t.Fatal("burst frame passes")
+	}
+	if v, _ := m.Run(udpTo(7777), env); v != overlay.VerdictDrop {
+		t.Fatal("second frame sheds")
+	}
+	if m.Counter("shed") != 1 {
+		t.Fatalf("shed = %d", m.Counter("shed"))
+	}
+	// Other ports are untouched.
+	if v, _ := m.Run(udpTo(80), env); v != overlay.VerdictPass {
+		t.Fatal("other ports pass")
+	}
+}
+
+func TestStatefulFirewallViaEngine(t *testing.T) {
+	e, eng := newEngine(true)
+	c, err := e.NIC.OpenConn(1, packet.Meta{ConnID: 1, TrustedMeta: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := packet.FlowKey{Src: packet.MakeIP(10, 0, 0, 1), Dst: packet.MakeIP(10, 0, 0, 2),
+		SrcPort: 99, DstPort: 7, Proto: packet.ProtoUDP}
+	if err := e.NIC.SteerFlow(flow, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.StatefulEstablished() != -1 {
+		t.Fatal("not loaded yet")
+	}
+	if err := e.EnableStatefulFirewall(8); err != nil {
+		t.Fatal(err)
+	}
+	if e.StatefulEstablished() != 0 {
+		t.Fatal("empty table after load")
+	}
+	// Inbound before any outbound: rejected.
+	inbound := packet.NewUDP(packet.MAC{2}, packet.MAC{1}, flow.Dst, flow.Src, flow.DstPort, flow.SrcPort, 32)
+	e.NIC.DeliverFromWire(inbound)
+	eng.Run()
+	if e.StatefulRejected() != 1 || c.RxDelivered != 0 {
+		t.Fatalf("rejected=%d delivered=%d", e.StatefulRejected(), c.RxDelivered)
+	}
+	_ = c
+}
+
+type countEnv struct {
+	onMirror func()
+}
+
+func (e *countEnv) Now() sim.Time         { return 0 }
+func (e *countEnv) Mirror(*packet.Packet) { e.onMirror() }
+func (e *countEnv) Notify(*packet.Packet) {}
+
+// TestDeployChainsWithExtraStage: the firewall and a telemetry sampler
+// coexist on one pipeline via overlay.Chain, and the firewall's per-rule
+// hit counters survive the composition.
+func TestDeployChainsWithExtraStage(t *testing.T) {
+	e, _ := newEngine(true)
+	fw := filter.NewEngine(true)
+	_ = fw.Append(filter.HookInput, &filter.Rule{
+		Proto: filter.Proto(packet.ProtoUDP), DstPorts: filter.Port(53),
+		Action: filter.ActDrop,
+	})
+	sampler, err := overlay.Assemble("sampler", SamplingMirrorProgram(0)) // mirror everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddStage(nic.Ingress, sampler)
+	if _, err := e.DeployChains(fw); err != nil {
+		t.Fatal(err)
+	}
+
+	m := e.NIC.Machine(nic.Ingress)
+	mirrored := 0
+	env := &countEnv{onMirror: func() { mirrored++ }}
+
+	if v, _ := m.Run(udpTo(53), env); v != overlay.VerdictDrop {
+		t.Fatal("firewall stage still drops")
+	}
+	if mirrored != 0 {
+		t.Fatal("dropped packets must not reach the sampler")
+	}
+	if v, _ := m.Run(udpTo(80), env); v != overlay.VerdictPass {
+		t.Fatal("pass flows into the sampler")
+	}
+	if mirrored != 1 {
+		t.Fatalf("sampler should mirror passed traffic: %d", mirrored)
+	}
+	hits, ok := e.RuleHits(fw, filter.HookInput, 0)
+	if !ok || hits != 1 {
+		t.Fatalf("rule hits through the chained pipeline: %d %v", hits, ok)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"norman/internal/nic"
+	"norman/internal/overlay"
+)
+
+// Canned overlay programs the KOPI engine deploys for dataplane features
+// that are not rule-compilation products. Each is plain overlay assembly:
+// auditable, verified at load, swappable at runtime (§4.4).
+
+// StatefulEgressProgram records per-connection state on transmit.
+func StatefulEgressProgram(capacity int) string {
+	return fmt.Sprintf(`
+.table estab %d
+ldf r0, conn
+jeq r0, 0, out      # kernel-owned queues carry no connection context
+ldi r1, 1
+update estab, r0, r1
+out:
+pass
+`, capacity)
+}
+
+// StatefulIngressProgram admits inbound traffic only for connections the
+// egress side has recorded.
+func StatefulIngressProgram(capacity int) string {
+	return fmt.Sprintf(`
+.table estab %d
+.counter rejected
+ldf r0, conn
+jeq r0, 0, out      # unsteered traffic is the slow path's problem
+lookup r1, estab, r0, miss
+pass
+miss:
+count rejected
+drop
+out:
+pass
+`, capacity)
+}
+
+// SamplingMirrorProgram mirrors one in every 2^logN packets to the capture
+// tap — bounded-overhead always-on telemetry.
+func SamplingMirrorProgram(logN uint) string {
+	return fmt.Sprintf(`
+.table tick 1
+ldi r0, 0
+lookup r1, tick, r0, first
+jmp have
+first:
+ldi r1, 0
+have:
+ldi r2, 1
+add r1, r2
+update tick, r0, r1
+and r1, %d
+jne r1, 0, out
+mirror
+out:
+pass
+`, (1<<logN)-1)
+}
+
+// PortMeterProgram rate-limits traffic to one destination port with a
+// token-bucket meter and counts what it sheds.
+func PortMeterProgram(port uint16, rateBps, burstBytes float64) string {
+	return fmt.Sprintf(`
+.meter lim %g %g
+.counter shed
+ldf r0, dst_port
+jne r0, %d, out
+ldf r1, len
+meter r2, lim, r1
+jeq r2, 1, out
+count shed
+drop
+out:
+pass
+`, rateBps, burstBytes, port)
+}
+
+// EnableStatefulFirewall loads the connection-tracking firewall onto both
+// pipelines with a shared state table: outbound traffic inserts
+// per-connection state that inbound traffic must hit. This is the
+// "per-connection state at the NIC" §5 flags as the scalability risk — the
+// table capacity is a hard budget, and connections beyond it silently lose
+// return traffic (observable via StatefulEstablished / StatefulRejected and
+// the NIC drop counters).
+//
+// It replaces any loaded overlay programs: it is an alternative firewall,
+// not a composition with iptables chains.
+func (e *Interposer) EnableStatefulFirewall(capacity int) error {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	eprog, err := overlay.Assemble("stateful-egress", StatefulEgressProgram(capacity))
+	if err != nil {
+		return fmt.Errorf("core: stateful egress: %w", err)
+	}
+	iprog, err := overlay.Assemble("stateful-ingress", StatefulIngressProgram(capacity))
+	if err != nil {
+		return fmt.Errorf("core: stateful ingress: %w", err)
+	}
+	em, _, err := e.NIC.LoadProgram(nic.Egress, eprog)
+	if err != nil {
+		return err
+	}
+	im, _, err := e.NIC.LoadProgram(nic.Ingress, iprog)
+	if err != nil {
+		return err
+	}
+	// Both pipeline stages reference the same SRAM table.
+	return im.ShareTable("estab", em, "estab")
+}
+
+// StatefulEstablished returns the number of connections currently tracked,
+// or -1 if the stateful firewall is not loaded.
+func (e *Interposer) StatefulEstablished() int {
+	m := e.NIC.Machine(nic.Egress)
+	if m == nil {
+		return -1
+	}
+	return m.TableLen("estab")
+}
+
+// StatefulRejected returns inbound packets dropped for lack of state.
+func (e *Interposer) StatefulRejected() uint64 {
+	m := e.NIC.Machine(nic.Ingress)
+	if m == nil {
+		return 0
+	}
+	return m.Counter("rejected")
+}

@@ -1,0 +1,59 @@
+package ctl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+)
+
+// Client is a tool-side connection to normand.
+type Client struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+// Dial connects to the daemon's control socket.
+func Dial(path string) (*Client, error) {
+	if path == "" {
+		path = DefaultSocket
+	}
+	conn, err := net.Dial("unix", path)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: dialing %s (is normand running?): %w", path, err)
+	}
+	return &Client{conn: conn, rd: bufio.NewReaderSize(conn, 1<<20)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call performs one request and decodes the response payload into out
+// (which may be nil).
+func (c *Client) Call(op string, args, out interface{}) error {
+	req, err := Marshal(op, args)
+	if err != nil {
+		return err
+	}
+	req = append(req, '\n')
+	if _, err := c.conn.Write(req); err != nil {
+		return fmt.Errorf("ctl: write: %w", err)
+	}
+	line, err := c.rd.ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("ctl: read: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return fmt.Errorf("ctl: decoding response: %w", err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s", resp.Error)
+	}
+	if out != nil && resp.Data != nil {
+		if err := json.Unmarshal(resp.Data, out); err != nil {
+			return fmt.Errorf("ctl: decoding payload: %w", err)
+		}
+	}
+	return nil
+}

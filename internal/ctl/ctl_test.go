@@ -1,0 +1,224 @@
+package ctl
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"norman"
+	"norman/internal/wire"
+)
+
+// startServer brings up a daemon around a live KOPI system on a test socket.
+func startServer(t *testing.T) (*Client, *norman.System) {
+	t.Helper()
+	sys := norman.New(norman.KOPI)
+	net := wire.NewNetwork(sys.Arch())
+	net.AddEndpoint(sys.World().PeerIP, sys.World().PeerMAC, wire.EchoUDP)
+	alice := sys.AddUser(1000, "alice")
+	app := sys.Spawn(alice, "demo")
+	conn, err := sys.Dial(app, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small self-sustaining workload so advance produces traffic.
+	var tick func()
+	tick = func() {
+		conn.Send(256)
+		sys.After(50*norman.Microsecond, tick)
+	}
+	sys.At(0, tick)
+
+	srv := NewServer(sys)
+	path := filepath.Join(t.TempDir(), "ctl.sock")
+	go func() { _ = srv.Listen(path) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	var c *Client
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err = Dial(path)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c, sys
+}
+
+func TestStatusAndAdvance(t *testing.T) {
+	c, _ := startServer(t)
+	var st StatusData
+	if err := c.Call(OpStatus, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Architecture != "kopi" {
+		t.Fatalf("arch %q", st.Architecture)
+	}
+	before := st.TxFrames
+	if err := c.Call(OpAdvance, AdvanceArgs{Millis: 10}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TxFrames <= before {
+		t.Fatalf("advance should move traffic: %d -> %d", before, st.TxFrames)
+	}
+}
+
+func TestRuleLifecycle(t *testing.T) {
+	c, _ := startServer(t)
+	uid := uint32(1000)
+	err := c.Call(OpIPTablesAdd, RuleArgs{
+		Hook: "OUTPUT", Proto: "udp", DstPort: 9999,
+		OwnerUID: &uid, Action: "drop",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rules []string
+	if err := c.Call(OpIPTablesList, nil, &rules); err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0] != "-A OUTPUT -p udp --dport 9999 -m owner --uid-owner 1000 -j DROP   [0 pkts]" {
+		t.Fatalf("rules: %q", rules)
+	}
+	if err := c.Call(OpIPTablesFlush, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(OpIPTablesList, nil, &rules); err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Fatalf("after flush: %q", rules)
+	}
+}
+
+func TestCaptureAndNetstat(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Call(OpDumpStart, DumpArgs{Expr: "udp and port 7"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(OpAdvance, AdvanceArgs{Millis: 5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var recs []DumpRecord
+	if err := c.Call(OpDumpFetch, nil, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("capture should have records")
+	}
+	if recs[0].Attribution == "?" {
+		t.Fatalf("KOPI captures must be attributed: %+v", recs[0])
+	}
+
+	var pcap PcapData
+	if err := c.Call(OpDumpPcap, nil, &pcap); err != nil {
+		t.Fatal(err)
+	}
+	if pcap.Count != len(recs) && pcap.Count == 0 {
+		t.Fatalf("pcap count %d", pcap.Count)
+	}
+	if pcap.Base64 == "" {
+		t.Fatal("empty pcap blob")
+	}
+
+	var rows []NetstatData
+	if err := c.Call(OpNetstat, nil, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Command != "demo" {
+		t.Fatalf("netstat: %+v", rows)
+	}
+}
+
+func TestUnknownOpAndBadArgs(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Call("bogus.op", nil, nil); err == nil {
+		t.Fatal("unknown op must error")
+	}
+	if err := c.Call(OpDumpFetch, nil, nil); err == nil {
+		t.Fatal("fetch without a capture must error")
+	}
+	// The connection stays usable after errors.
+	var st StatusData
+	if err := c.Call(OpStatus, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingOp(t *testing.T) {
+	c, _ := startServer(t)
+	var data PingData
+	if err := c.Call(OpPing, PingArgs{Dst: "10.0.0.2", Count: 2}, &data); err != nil {
+		t.Fatal(err)
+	}
+	if data.Sent != 2 || data.Received != 2 || len(data.RTTs) != 2 {
+		t.Fatalf("ping data: %+v", data)
+	}
+}
+
+// startServerArch brings up a daemon on an arbitrary architecture.
+func startServerArch(t *testing.T, archName norman.Architecture) *Client {
+	t.Helper()
+	sys := norman.New(archName)
+	net := wire.NewNetwork(sys.Arch())
+	net.AddEndpoint(sys.World().PeerIP, sys.World().PeerMAC, wire.EchoUDP)
+	srv := NewServer(sys)
+	path := filepath.Join(t.TempDir(), "ctl.sock")
+	go func() { _ = srv.Listen(path) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	var c *Client
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err = Dial(path)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// TestToolDegradationByArchitecture is §2 at the tool level: the same
+// commands against bypass and kernelstack daemons succeed or fail exactly
+// as the paper predicts.
+func TestToolDegradationByArchitecture(t *testing.T) {
+	// Bypass: everything administrative fails.
+	bp := startServerArch(t, norman.Bypass)
+	if err := bp.Call(OpDumpStart, DumpArgs{Expr: "udp"}, nil); err == nil {
+		t.Error("bypass tcpdump should fail")
+	}
+	uid := uint32(1001)
+	if err := bp.Call(OpIPTablesAdd, RuleArgs{Hook: "OUTPUT", OwnerUID: &uid, Action: "drop"}, nil); err == nil {
+		t.Error("bypass owner rule should fail")
+	}
+	if err := bp.Call(OpPing, PingArgs{Dst: "10.0.0.2", Count: 1}, nil); err == nil {
+		t.Error("bypass ping should fail")
+	}
+	var st StatusData
+	if err := bp.Call(OpStatus, nil, &st); err != nil || st.Architecture != "bypass" {
+		t.Errorf("status must still work: %v %+v", err, st)
+	}
+
+	// Kernelstack: everything works.
+	ks := startServerArch(t, norman.KernelStack)
+	if err := ks.Call(OpDumpStart, DumpArgs{Expr: "udp"}, nil); err != nil {
+		t.Errorf("kernelstack tcpdump: %v", err)
+	}
+	if err := ks.Call(OpIPTablesAdd, RuleArgs{Hook: "OUTPUT", OwnerUID: &uid, Action: "drop"}, nil); err != nil {
+		t.Errorf("kernelstack owner rule: %v", err)
+	}
+	var ping PingData
+	if err := ks.Call(OpPing, PingArgs{Dst: "10.0.0.2", Count: 1}, &ping); err != nil || ping.Received != 1 {
+		t.Errorf("kernelstack ping: %v %+v", err, ping)
+	}
+}

@@ -1,0 +1,343 @@
+package ctl
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"norman"
+	"norman/internal/sniff"
+)
+
+// Server exposes a running System over the control socket. All simulation
+// access is serialized through one mutex: the discrete-event engine is
+// single-threaded by design.
+type Server struct {
+	mu  sync.Mutex
+	sys *norman.System
+
+	// Advance the simulation by this much virtual time per request, so a
+	// live normand's world moves while tools observe it.
+	StepPerRequest norman.Duration
+
+	capture *norman.Capture
+	tcDesc  string
+
+	ln net.Listener
+}
+
+// NewServer wraps a system.
+func NewServer(sys *norman.System) *Server {
+	return &Server{sys: sys, StepPerRequest: 5 * norman.Millisecond}
+}
+
+// Listen binds the Unix socket (removing a stale one) and serves until the
+// listener is closed.
+func (s *Server) Listen(path string) error {
+	_ = os.Remove(path)
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return fmt.Errorf("ctl: listen %s: %w", path, err)
+	}
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp.Error = "bad request: " + err.Error()
+		} else {
+			data, err := s.dispatch(req)
+			if err != nil {
+				resp.Error = err.Error()
+			} else {
+				resp.OK = true
+				resp.Data = data
+			}
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		out = append(out, '\n')
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) (json.RawMessage, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Keep the world moving so tools observe live state.
+	if req.Op != OpAdvance {
+		s.sys.RunFor(s.StepPerRequest)
+	}
+
+	switch req.Op {
+	case OpStatus:
+		return s.status()
+	case OpAdvance:
+		var a AdvanceArgs
+		if err := json.Unmarshal(req.Args, &a); err != nil {
+			return nil, err
+		}
+		if a.Millis <= 0 {
+			a.Millis = 1
+		}
+		s.sys.RunFor(norman.Duration(a.Millis) * norman.Millisecond)
+		return s.status()
+	case OpIPTablesAdd:
+		var a RuleArgs
+		if err := json.Unmarshal(req.Args, &a); err != nil {
+			return nil, err
+		}
+		return nil, s.iptablesAdd(a)
+	case OpIPTablesList:
+		return marshal(s.renderRules())
+	case OpIPTablesFlush:
+		return nil, s.sys.IPTablesFlush()
+	case OpTCSet:
+		var a TCArgs
+		if err := json.Unmarshal(req.Args, &a); err != nil {
+			return nil, err
+		}
+		err := s.sys.TCSet(norman.QdiscSpec{
+			Kind: a.Kind, Weights: a.Weights,
+			RateBps: a.RateBps, BurstBytes: a.BurstBytes, Limit: a.Limit,
+		}, a.ClassOfUID)
+		if err != nil {
+			return nil, err
+		}
+		s.tcDesc = fmt.Sprintf("qdisc %s weights=%v class_of_uid=%v", a.Kind, a.Weights, a.ClassOfUID)
+		return nil, nil
+	case OpTCShow:
+		if s.tcDesc == "" {
+			return marshal("qdisc pfifo (default)")
+		}
+		return marshal(s.tcDesc)
+	case OpDumpStart:
+		var a DumpArgs
+		if err := json.Unmarshal(req.Args, &a); err != nil {
+			return nil, err
+		}
+		capture, err := s.sys.Tcpdump(a.Expr)
+		if err != nil {
+			return nil, err
+		}
+		s.capture = capture
+		return nil, nil
+	case OpDumpFetch:
+		return s.dumpFetch()
+	case OpDumpPcap:
+		return s.dumpPcap()
+	case OpPing:
+		var a PingArgs
+		if err := json.Unmarshal(req.Args, &a); err != nil {
+			return nil, err
+		}
+		return s.ping(a)
+	case OpNetstat:
+		return s.netstat()
+	case OpARP:
+		return s.arp()
+	default:
+		return nil, fmt.Errorf("ctl: unknown op %q", req.Op)
+	}
+}
+
+func marshal(v interface{}) (json.RawMessage, error) {
+	b, err := json.Marshal(v)
+	return b, err
+}
+
+func (s *Server) status() (json.RawMessage, error) {
+	w := s.sys.World()
+	used, budget := w.NIC.SRAM()
+	return marshal(StatusData{
+		Architecture: string(s.sys.ArchitectureName()),
+		VirtualTime:  s.sys.Now().String(),
+		TxFrames:     w.NIC.TxFrames,
+		RxFrames:     w.NIC.RxWire,
+		RxDrops:      w.NIC.RxDropNoSteer + w.NIC.RxDropRing + w.NIC.RxDropVerdict + w.NIC.RxFifoDrop,
+		SRAMUsed:     used,
+		SRAMBudget:   budget,
+		Conns:        w.NIC.ConnCount(),
+	})
+}
+
+func (s *Server) iptablesAdd(a RuleArgs) error {
+	hook := norman.Output
+	if strings.EqualFold(a.Hook, "input") {
+		hook = norman.Input
+	}
+	return s.sys.IPTablesAppend(hook, norman.Rule{
+		Proto: a.Proto, SrcNet: a.SrcNet, DstNet: a.DstNet,
+		SrcPort: a.SrcPort, DstPort: a.DstPort,
+		OwnerUID: a.OwnerUID, OwnerCmd: a.OwnerCmd,
+		Action: a.Action,
+	})
+}
+
+func (s *Server) renderRules() []string {
+	list := s.sys.IPTablesList()
+	out := make([]string, 0, len(list))
+	for _, rs := range list {
+		a := rs.Rule
+		line := fmt.Sprintf("-A %s", strings.ToUpper(rs.Hook))
+		if a.Proto != "" {
+			line += " -p " + a.Proto
+		}
+		if a.SrcNet != "" {
+			line += " -s " + a.SrcNet
+		}
+		if a.DstNet != "" {
+			line += " -d " + a.DstNet
+		}
+		if a.SrcPort != 0 {
+			line += fmt.Sprintf(" --sport %d", a.SrcPort)
+		}
+		if a.DstPort != 0 {
+			line += fmt.Sprintf(" --dport %d", a.DstPort)
+		}
+		if a.OwnerUID != nil {
+			line += fmt.Sprintf(" -m owner --uid-owner %d", *a.OwnerUID)
+		}
+		if a.OwnerCmd != "" {
+			line += " --cmd-owner " + a.OwnerCmd
+		}
+		line += " -j " + strings.ToUpper(a.Action)
+		line += fmt.Sprintf("   [%d pkts]", rs.Hits)
+		out = append(out, line)
+	}
+	return out
+}
+
+func (s *Server) dumpFetch() (json.RawMessage, error) {
+	if s.capture == nil {
+		return nil, fmt.Errorf("ctl: no capture running (tcpdump.start first)")
+	}
+	recs := s.capture.Records()
+	out := make([]DumpRecord, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, DumpRecord{
+			At:          r.At.String(),
+			Summary:     summarize(r),
+			Attribution: r.Attribution(),
+		})
+	}
+	return marshal(out)
+}
+
+func (s *Server) dumpPcap() (json.RawMessage, error) {
+	if s.capture == nil {
+		return nil, fmt.Errorf("ctl: no capture running (tcpdump.start first)")
+	}
+	var buf strings.Builder
+	enc := base64.NewEncoder(base64.StdEncoding, &buf)
+	recs := s.capture.Records()
+	if err := sniff.WritePcap(enc, recs); err != nil {
+		return nil, err
+	}
+	if err := enc.Close(); err != nil {
+		return nil, err
+	}
+	return marshal(PcapData{Base64: buf.String(), Count: len(recs)})
+}
+
+func summarize(r sniff.Record) string {
+	p := r.Pkt
+	switch {
+	case p.ARP != nil:
+		op := "request"
+		if p.ARP.Op == 2 {
+			op = "reply"
+		}
+		return fmt.Sprintf("ARP %s who-has %s tell %s", op, p.ARP.TargetIP, p.ARP.SenderIP)
+	case p.UDP != nil:
+		return fmt.Sprintf("UDP %s:%d > %s:%d len %d",
+			p.IP.Src, p.UDP.SrcPort, p.IP.Dst, p.UDP.DstPort, p.PayloadLen)
+	case p.TCP != nil:
+		return fmt.Sprintf("TCP %s:%d > %s:%d len %d",
+			p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort, p.PayloadLen)
+	case p.IP != nil:
+		return fmt.Sprintf("IP %s > %s proto %d", p.IP.Src, p.IP.Dst, p.IP.Proto)
+	default:
+		return fmt.Sprintf("frame %dB", p.FrameLen())
+	}
+}
+
+// ping fires count echoes and runs virtual time until they resolve.
+func (s *Server) ping(a PingArgs) (json.RawMessage, error) {
+	if a.Count <= 0 {
+		a.Count = 3
+	}
+	if a.Dst == "" {
+		a.Dst = "10.0.0.2"
+	}
+	data := PingData{}
+	for i := 0; i < a.Count; i++ {
+		data.Sent++
+		err := s.sys.Ping(a.Dst, func(rtt norman.Duration, ok bool) {
+			if ok {
+				data.Received++
+				data.RTTs = append(data.RTTs, rtt.String())
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Run virtual time forward far enough for a reply or timeout.
+		s.sys.RunFor(150 * norman.Millisecond)
+	}
+	return marshal(data)
+}
+
+func (s *Server) netstat() (json.RawMessage, error) {
+	rows := s.sys.Netstat()
+	out := make([]NetstatData, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, NetstatData{
+			ConnID: r.ConnID, Flow: r.Flow, PID: r.PID, UID: r.UID,
+			Command: r.Command, Opened: r.Opened.String(),
+		})
+	}
+	return marshal(out)
+}
+
+func (s *Server) arp() (json.RawMessage, error) {
+	kern := s.sys.World().Kern
+	data := ARPData{RequestsByPID: kern.ARP().RequestsSeen}
+	for _, e := range kern.ARP().Entries() {
+		data.Entries = append(data.Entries, ARPEntryData{
+			IP: e.IP.String(), MAC: e.MAC.String(), Learned: e.Learned.String(),
+		})
+	}
+	return marshal(data)
+}

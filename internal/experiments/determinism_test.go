@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeterminism backs the reproduction's core methodological claim: the
+// virtual-time simulation produces bit-identical results across runs, so
+// every number in EXPERIMENTS.md is exactly reproducible.
+func TestDeterminism(t *testing.T) {
+	r1, _ := RunE1(0.1)
+	r2, _ := RunE1(0.1)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("E1 runs differ:\n%+v\n%+v", r1, r2)
+	}
+
+	p1, _ := RunE5(0.2)
+	p2, _ := RunE5(0.2)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("E5 runs differ:\n%+v\n%+v", p1, p2)
+	}
+
+	rows1, _ := RunE7(0.1)
+	rows2, _ := RunE7(0.1)
+	if !reflect.DeepEqual(rows1, rows2) {
+		t.Fatalf("E7 runs differ")
+	}
+}

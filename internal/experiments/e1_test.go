@@ -1,0 +1,83 @@
+package experiments
+
+import "testing"
+
+// TestE1Shape verifies the paper's core hypothesis holds in the model:
+// bypass ≈ kopi ≫ kernelstack, sidecar in between, and interposition on the
+// NIC costs KOPI (almost) no throughput.
+func TestE1Shape(t *testing.T) {
+	rows, tbl := RunE1(0.25)
+	t.Logf("\n%s", tbl)
+
+	byName := map[string]E1Row{}
+	for _, r := range rows {
+		byName[r.Arch] = r
+	}
+	ks, bp, sc, kopi := byName["kernelstack"], byName["bypass"], byName["sidecar"], byName["kopi"]
+
+	if bp.ThrBareGbps < 90 {
+		t.Errorf("bypass should saturate ~100G, got %.1f", bp.ThrBareGbps)
+	}
+	if kopi.ThrBareGbps < 0.95*bp.ThrBareGbps {
+		t.Errorf("kopi (%.1f) should match bypass (%.1f)", kopi.ThrBareGbps, bp.ThrBareGbps)
+	}
+	if kopi.ThrPolicyGbps < 0.9*kopi.ThrBareGbps {
+		t.Errorf("kopi with policies (%.1f) should not lose throughput vs bare (%.1f)",
+			kopi.ThrPolicyGbps, kopi.ThrBareGbps)
+	}
+	if ks.ThrBareGbps > 0.5*bp.ThrBareGbps {
+		t.Errorf("kernelstack (%.1f) should be well below bypass (%.1f)", ks.ThrBareGbps, bp.ThrBareGbps)
+	}
+	if !(sc.ThrBareGbps > ks.ThrBareGbps && sc.ThrBareGbps < bp.ThrBareGbps) {
+		t.Errorf("sidecar (%.1f) should land between kernelstack (%.1f) and bypass (%.1f)",
+			sc.ThrBareGbps, ks.ThrBareGbps, bp.ThrBareGbps)
+	}
+	if ks.RTT50 <= kopi.RTT50 {
+		t.Errorf("kernelstack RTT (%v) should exceed kopi RTT (%v)", ks.RTT50, kopi.RTT50)
+	}
+}
+
+// TestE1RxShape verifies the receive half: the software stacks bottleneck
+// far below the wire while the ring dataplanes deliver ~line rate.
+func TestE1RxShape(t *testing.T) {
+	rows, _ := RunE1(0.25)
+	byName := map[string]E1Row{}
+	for _, r := range rows {
+		byName[r.Arch] = r
+	}
+	if byName["bypass"].ThrRxGbps < 90 || byName["kopi"].ThrRxGbps < 90 {
+		t.Errorf("ring dataplanes should receive ~line rate: bypass=%.1f kopi=%.1f",
+			byName["bypass"].ThrRxGbps, byName["kopi"].ThrRxGbps)
+	}
+	if byName["kernelstack"].ThrRxGbps > 0.4*byName["kopi"].ThrRxGbps {
+		t.Errorf("kernelstack RX (%.1f) should be far below kopi (%.1f)",
+			byName["kernelstack"].ThrRxGbps, byName["kopi"].ThrRxGbps)
+	}
+	if s := byName["sidecar"].ThrRxGbps; s <= byName["kernelstack"].ThrRxGbps || s >= byName["kopi"].ThrRxGbps {
+		t.Errorf("sidecar RX (%.1f) should land between kernelstack (%.1f) and kopi (%.1f)",
+			s, byName["kernelstack"].ThrRxGbps, byName["kopi"].ThrRxGbps)
+	}
+}
+
+// TestE1MultiQueueKernel: the sensitivity row — four softirq queues and a
+// polling receiver help the kernel stack, but the per-packet stack cost
+// keeps it far from the ring dataplanes.
+func TestE1MultiQueueKernel(t *testing.T) {
+	rows, _ := RunE1(0.25)
+	byName := map[string]E1Row{}
+	for _, r := range rows {
+		byName[r.Arch] = r
+	}
+	mq, ok := byName["kernelstack-4q"]
+	if !ok {
+		t.Fatal("missing kernelstack-4q row")
+	}
+	single := byName["kernelstack"]
+	if mq.ThrRxGbps <= 1.5*single.ThrRxGbps {
+		t.Errorf("multi-queue should help RX: %.1f vs %.1f", mq.ThrRxGbps, single.ThrRxGbps)
+	}
+	if mq.ThrRxGbps > 0.4*byName["kopi"].ThrRxGbps {
+		t.Errorf("multi-queue must not close the gap to kopi: %.1f vs %.1f",
+			mq.ThrRxGbps, byName["kopi"].ThrRxGbps)
+	}
+}

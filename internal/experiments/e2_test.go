@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestE2Matrix verifies the §2 scenario matrix comes out as the paper
+// argues: OS-integrated interposition (kernelstack, sidecar, kopi) solves
+// all four scenarios, the hypervisor switch sees traffic but lacks the
+// process view, and raw bypass solves nothing.
+func TestE2Matrix(t *testing.T) {
+	res, tbl := RunE2(0.5)
+	t.Logf("\n%s", tbl)
+
+	want := map[string]map[string]CapLevel{
+		"debugging": {
+			"kernelstack": CapYes, "bypass": CapNo, "sidecar": CapYes,
+			"hypervisor": CapPartial, "kopi": CapYes,
+		},
+		"port-partition": {
+			"kernelstack": CapYes, "bypass": CapNo, "sidecar": CapYes,
+			"hypervisor": CapNo, "kopi": CapYes,
+		},
+		"scheduling": {
+			"kernelstack": CapYes, "bypass": CapNo, "sidecar": CapYes,
+			"hypervisor": CapNo, "kopi": CapYes,
+		},
+		"qos": {
+			"kernelstack": CapYes, "bypass": CapNo, "sidecar": CapYes,
+			"hypervisor": CapPartial, "kopi": CapYes,
+		},
+		"ping": {
+			"kernelstack": CapYes, "bypass": CapNo, "sidecar": CapYes,
+			"hypervisor": CapNo, "kopi": CapYes,
+		},
+	}
+	for scenario, perArch := range want {
+		for archName, lvl := range perArch {
+			if got := res.Level(scenario, archName); got != lvl {
+				t.Errorf("%s/%s: got %v, want %v", scenario, archName, got, lvl)
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+// TestE3Cliff verifies the §5 connection-scaling anecdote's shape: line rate
+// holds at low connection counts, collapses past ~1024 connections under the
+// default DDIO partition, does not collapse with cache modeling off or with
+// shared rings, and is degraded everywhere with DDIO disabled.
+func TestE3Cliff(t *testing.T) {
+	points, tbl := RunE3(0.3)
+	t.Logf("\n%s", tbl)
+
+	byConns := map[int]E3Point{}
+	for _, p := range points {
+		byConns[p.Conns] = p
+	}
+	low, high := byConns[64], byConns[4096]
+
+	if low.DefaultGbps < 90 {
+		t.Errorf("64 conns should sustain ~line rate, got %.1f", low.DefaultGbps)
+	}
+	if high.DefaultGbps > 0.8*low.DefaultGbps {
+		t.Errorf("4096 conns (%.1f) should be well below 64 conns (%.1f): no cliff",
+			high.DefaultGbps, low.DefaultGbps)
+	}
+	if high.IdealGbps < 0.9*low.IdealGbps {
+		t.Errorf("no-cache ideal should not cliff: %.1f vs %.1f", high.IdealGbps, low.IdealGbps)
+	}
+	if high.SharedGbps < 0.9*low.SharedGbps {
+		t.Errorf("shared rings should not cliff: %.1f vs %.1f", high.SharedGbps, low.SharedGbps)
+	}
+	if byConns[1024].DefaultGbps < 90 {
+		t.Errorf("1024 conns should still hold near line rate, got %.1f", byConns[1024].DefaultGbps)
+	}
+	if high.DDIO4Gbps < 1.2*high.DefaultGbps {
+		t.Errorf("more DDIO ways should move the cliff right: at 4096 conns ddio4=%.1f vs default=%.1f",
+			high.DDIO4Gbps, high.DefaultGbps)
+	}
+	if low.DDIO0Gbps > 0.9*low.DefaultGbps {
+		t.Errorf("ddio-off should hurt even at 64 conns: %.1f vs %.1f",
+			low.DDIO0Gbps, low.DefaultGbps)
+	}
+	if high.DefaultMissFrac < 0.5 {
+		t.Errorf("descriptor miss fraction at 4096 conns should be high, got %.2f", high.DefaultMissFrac)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"norman/internal/sim"
+)
+
+// TestE4Reconfig verifies the programmability shape: overlay loads are
+// microsecond-scale and scale with program size, an online reload loses no
+// traffic, a bitstream respin loses an outage worth of traffic, and the
+// kernel baseline is also lossless.
+func TestE4Reconfig(t *testing.T) {
+	res, tbl := RunE4(0.5)
+	t.Logf("\n%s", tbl)
+
+	if len(res.Loads) == 0 {
+		t.Fatal("no load points")
+	}
+	small, big := res.Loads[0], res.Loads[len(res.Loads)-1]
+	if small.LoadTime <= 0 || small.LoadTime > sim.Millisecond {
+		t.Errorf("1-rule load should be microseconds, got %v", small.LoadTime)
+	}
+	if big.LoadTime <= small.LoadTime {
+		t.Errorf("bigger programs should take longer to load: %v vs %v", big.LoadTime, small.LoadTime)
+	}
+	if big.LoadTime > 10*sim.Millisecond {
+		t.Errorf("1024-rule load should still be sub-10ms (online), got %v", big.LoadTime)
+	}
+
+	byMech := map[string]E4Disruption{}
+	for _, d := range res.Disruptions {
+		byMech[d.Mechanism] = d
+	}
+	if d := byMech["overlay-reload"]; d.LostPackets != 0 {
+		t.Errorf("overlay reload should lose no packets, lost %d", d.LostPackets)
+	}
+	if d := byMech["kernel-rule-update"]; d.LostPackets != 0 {
+		t.Errorf("kernel rule update should lose no packets, lost %d", d.LostPackets)
+	}
+	if d := byMech["bitstream-respin"]; d.LostPackets == 0 {
+		t.Error("bitstream respin should lose an outage worth of packets")
+	}
+	// The paper's rate argument: 626 updates/year through the bitstream
+	// path would mean 626 outages; through the overlay path, none.
+	if res.YearlyUpdates != 626 {
+		t.Errorf("yearly update count should be 377+249=626, got %d", res.YearlyUpdates)
+	}
+}

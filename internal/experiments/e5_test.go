@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestE5Exhaustion verifies the §5-Q3 shape: past the SRAM budget,
+// connections fail hard without a fallback (lost traffic), while the
+// software slow path degrades gracefully — overflow traffic is served, but
+// at software rates, so the aggregate declines instead of cliff-dropping.
+func TestE5Exhaustion(t *testing.T) {
+	res, tbl := RunE5(0.5)
+	t.Logf("\n%s", tbl)
+
+	var under, over *E5Point
+	for i := range res.Points {
+		p := &res.Points[i]
+		if p.FailedConns == 0 && under == nil {
+			under = p
+		}
+		if p.FailedConns > 0 {
+			over = p
+		}
+	}
+	if under == nil || over == nil {
+		t.Fatalf("sweep should cross the SRAM budget (accepted=%v)", res.Points)
+	}
+	if over.Accepted >= over.Offered {
+		t.Error("over-budget point should have failed connections")
+	}
+	if over.AggregateFallbackGbps <= over.AggregateNoFallbackGbps {
+		t.Errorf("fallback should beat hard failure: %.2f vs %.2f",
+			over.AggregateFallbackGbps, over.AggregateNoFallbackGbps)
+	}
+	if over.SlowGbps <= 0 {
+		t.Error("slow path should carry overflow traffic")
+	}
+	if over.FastGbps <= 0 {
+		t.Error("fast path should still carry in-budget traffic")
+	}
+	if res.TableRejected == 0 || res.TableInserted != res.TableCapacity {
+		t.Errorf("table fill should reject past capacity: inserted=%d rejected=%d cap=%d",
+			res.TableInserted, res.TableRejected, res.TableCapacity)
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"testing"
+
+	"norman/internal/arch"
+	"norman/internal/host"
+	"norman/internal/packet"
+	"norman/internal/qos"
+	"norman/internal/sim"
+	"norman/internal/timing"
+)
+
+// TestE6QoSShapes verifies the fairness and game-shaping shapes of the §2
+// QoS scenario.
+func TestE6QoSShapes(t *testing.T) {
+	res, tbl := RunE6(0.4)
+	t.Logf("\n%s", tbl)
+
+	get := func(name string, weight float64) E6Row {
+		for _, r := range res.Fairness {
+			if r.Arch == name && r.Weight == weight {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%v", name, weight)
+		return E6Row{}
+	}
+	for _, name := range []string{"kernelstack", "sidecar", "kopi"} {
+		for _, weight := range []float64{2, 3, 8} {
+			r := get(name, weight)
+			if r.Err != "" {
+				t.Errorf("%s/w=%v: unexpected error %s", name, weight, r.Err)
+				continue
+			}
+			if r.AchievedWFQ < 0.75*weight || r.AchievedWFQ > 1.3*weight {
+				t.Errorf("%s/w=%v: wfq achieved %.2f, want ≈%v", name, weight, r.AchievedWFQ, weight)
+			}
+			if r.AchievedDRR < 0.7*weight || r.AchievedDRR > 1.4*weight {
+				t.Errorf("%s/w=%v: drr achieved %.2f, want ≈%v", name, weight, r.AchievedDRR, weight)
+			}
+		}
+	}
+	if r := get("hypervisor", 3); r.Err == "" && (r.AchievedWFQ < 0.6 || r.AchievedWFQ > 1.6) {
+		t.Errorf("hypervisor should collapse to ~1:1, got %.2f", r.AchievedWFQ)
+	}
+	if r := get("bypass", 3); r.Err != "unsupported" {
+		t.Errorf("bypass should be unsupported, got %+v", r)
+	}
+
+	for _, g := range res.Game {
+		switch g.Arch {
+		case "kernelstack", "sidecar", "kopi":
+			if !g.Enforceable {
+				t.Errorf("%s should enforce the game cap: game=%.2f bulk=%.2f", g.Arch, g.GameGbps, g.BulkGbps)
+			}
+		case "bypass", "hypervisor":
+			if g.Enforceable {
+				t.Errorf("%s should NOT enforce a per-user cap: game=%.2f bulk=%.2f", g.Arch, g.GameGbps, g.BulkGbps)
+			}
+		}
+	}
+}
+
+// TestE7Blocking verifies the CPU-efficiency shape of the §2 scheduling
+// scenario.
+func TestE7Blocking(t *testing.T) {
+	rows, tbl := RunE7(0.4)
+	t.Logf("\n%s", tbl)
+
+	get := func(name, mode string, rate int) *E7Row {
+		for i := range rows {
+			if rows[i].Arch == name && rows[i].Mode == mode && rows[i].RatePPS == rate {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+
+	// Bypass cannot block.
+	if r := get("bypass", "unsupported", 10_000); r == nil {
+		t.Error("bypass block mode should be unsupported")
+	}
+	// KOPI: polling burns a core even at 10kpps; blocking burns far less.
+	poll := get("kopi", "poll", 10_000)
+	block := get("kopi", "block", 10_000)
+	if poll == nil || block == nil {
+		t.Fatal("missing kopi rows")
+	}
+	if poll.CoresBurned < 0.9 {
+		t.Errorf("kopi poll at 10kpps should burn ~1 core, got %.2f", poll.CoresBurned)
+	}
+	if block.CoresBurned > 0.3*poll.CoresBurned {
+		t.Errorf("kopi block (%.3f cores) should be far below poll (%.3f)", block.CoresBurned, poll.CoresBurned)
+	}
+	if block.P50Latency <= poll.P50Latency {
+		t.Errorf("blocking should cost latency: block p50 %v vs poll %v", block.P50Latency, poll.P50Latency)
+	}
+	if block.Delivered == 0 || poll.Delivered == 0 {
+		t.Error("both modes must deliver traffic")
+	}
+	// Interrupt coalescing cuts the 1Mpps interrupt load dramatically for
+	// a bounded latency cost.
+	hot := get("kopi", "block", 1_000_000)
+	coal := get("kopi", "block+coalesce", 1_000_000)
+	if hot == nil || coal == nil {
+		t.Fatal("missing high-rate kopi rows")
+	}
+	if coal.CoresBurned > 0.5*hot.CoresBurned {
+		t.Errorf("coalescing should slash CPU at 1Mpps: %.3f vs %.3f",
+			coal.CoresBurned, hot.CoresBurned)
+	}
+	if coal.Delivered == 0 {
+		t.Error("coalesced mode must still deliver")
+	}
+	// Sidecar blocks its apps but still burns the dataplane core.
+	if r := get("sidecar", "block", 10_000); r != nil && r.CoresBurned < 0.9 {
+		t.Errorf("sidecar burns its dataplane core even when apps block, got %.2f", r.CoresBurned)
+	}
+	// Kernel stack supports blocking cheaply too.
+	if r := get("kernelstack", "block", 10_000); r != nil && r.CoresBurned > 0.5 {
+		t.Errorf("kernelstack block at 10kpps should be cheap, got %.2f", r.CoresBurned)
+	}
+}
+
+// TestHypervisorFlowQoSWorks: the flip side of E6 — the hypervisor switch
+// CAN shape by 5-tuple (its AccelNet heritage); what it cannot do is tell
+// users apart. Classified by destination port instead of uid, its WFQ
+// achieves the configured weights.
+func TestHypervisorFlowQoSWorks(t *testing.T) {
+	model := timing.Default()
+	model.WireBW = sim.Gbps(10)
+	a := arch.New("hypervisor", arch.WorldConfig{Model: model})
+	w := a.World()
+
+	until := sim.Time(4 * sim.Millisecond)
+	winLo, winHi := until/4, until
+	perPort := map[uint16]uint64{}
+	w.Peer = func(p *packet.Packet, at sim.Time) {
+		if p.UDP != nil && at >= winLo && at <= winHi {
+			perPort[p.UDP.DstPort] += uint64(p.FrameLen())
+		}
+	}
+
+	u := w.Kern.AddUser(1, "u")
+	pa := w.Kern.Spawn(u.UID, "a")
+	pb := w.Kern.Spawn(u.UID, "b")
+	fa := w.Flow(20001, 873)
+	fb := w.Flow(20002, 1234)
+	ca, err := a.Connect(pa, fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := a.Connect(pb, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wf := qos.NewWFQ(512)
+	wf.SetWeight(1, 3)
+	wf.SetWeight(2, 1)
+	if err := a.SetQdisc(wf, func(p *packet.Packet) uint32 {
+		if p.UDP != nil && p.UDP.DstPort == 873 {
+			return 1
+		}
+		return 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(c *arch.Conn, f packet.FlowKey) *host.Sender {
+		return &host.Sender{Arch: a, Conn: c, Flow: f, Payload: 8958,
+			Interval: host.IntervalFor(9.5, 9000), Until: until, Burst: 8}
+	}
+	mk(ca, fa).Start(0)
+	mk(cb, fb).Start(0)
+	w.Eng.Run()
+
+	ratio := float64(perPort[873]) / float64(perPort[1234])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("flow-level WFQ on the hypervisor should hit ~3:1, got %.2f", ratio)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestE8OwnerFilter verifies the port-partition enforcement shape and the
+// classifier scaling ablation.
+func TestE8OwnerFilter(t *testing.T) {
+	res, tbl := RunE8(0.5)
+	t.Logf("\n%s", tbl)
+
+	byArch := map[string]E8Row{}
+	for _, r := range res.Enforcement {
+		byArch[r.Arch] = r
+	}
+	for _, name := range []string{"kernelstack", "sidecar", "kopi"} {
+		r := byArch[name]
+		if !r.PolicyInstalled {
+			t.Errorf("%s should accept owner rules", name)
+		}
+		if r.Violations != 0 {
+			t.Errorf("%s let %d spoofed frames escape", name, r.Violations)
+		}
+		if r.LegitPackets == 0 {
+			t.Errorf("%s blocked the legitimate postgres traffic", name)
+		}
+	}
+	for _, name := range []string{"bypass", "hypervisor"} {
+		r := byArch[name]
+		if r.PolicyInstalled {
+			t.Errorf("%s should not be able to install owner rules", name)
+		}
+		if r.Violations == 0 {
+			t.Errorf("%s should leak spoofed frames without the policy", name)
+		}
+	}
+
+	if len(res.Classifier) < 2 {
+		t.Fatal("classifier sweep missing")
+	}
+	last := res.Classifier[len(res.Classifier)-1]
+	if last.LinearEvals < float64(last.Rules)/4 {
+		t.Errorf("linear classifier should scale with rules: %v evals for %d rules",
+			last.LinearEvals, last.Rules)
+	}
+	if last.CompiledEvals > 10 {
+		t.Errorf("compiled classifier should be ~O(1): %v evals for %d rules",
+			last.CompiledEvals, last.Rules)
+	}
+}

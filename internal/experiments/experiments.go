@@ -1,0 +1,39 @@
+// Package experiments contains one driver per experiment in the DESIGN.md
+// index (E1–E8). Each driver builds its worlds, runs the workload in virtual
+// time, and returns both a typed result (asserted by tests and benches) and
+// a formatted table matching the claim it reproduces. cmd/kopibench and the
+// top-level bench targets are thin wrappers over these drivers.
+package experiments
+
+import (
+	"norman/internal/arch"
+	"norman/internal/sim"
+)
+
+// runFor drives a world's engine until the given virtual deadline.
+func runFor(w *arch.World, d sim.Duration) sim.Time {
+	return w.Eng.RunUntil(sim.Time(d))
+}
+
+// Scale compresses experiment durations for quick test runs: drivers
+// multiply their simulated durations and sweep sizes by it. 1.0 is the full
+// benchmark configuration.
+type Scale float64
+
+// durations scaled.
+func (s Scale) d(base sim.Duration) sim.Duration {
+	v := sim.Duration(float64(base) * float64(s))
+	if v < sim.Microsecond {
+		v = sim.Microsecond
+	}
+	return v
+}
+
+// count scales an iteration count, keeping at least lo.
+func (s Scale) n(base, lo int) int {
+	v := int(float64(base) * float64(s))
+	if v < lo {
+		v = lo
+	}
+	return v
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"norman/internal/sim"
+	"norman/internal/stats"
+)
+
+func TestScaleHelpers(t *testing.T) {
+	s := Scale(0.5)
+	if got := s.d(10 * sim.Millisecond); got != 5*sim.Millisecond {
+		t.Fatalf("d = %v", got)
+	}
+	// Durations floor at 1µs.
+	if got := Scale(0.0001).d(sim.Millisecond); got != sim.Microsecond {
+		t.Fatalf("floor = %v", got)
+	}
+	if got := s.n(100, 10); got != 50 {
+		t.Fatalf("n = %v", got)
+	}
+	if got := Scale(0.01).n(100, 10); got != 10 {
+		t.Fatalf("n floor = %v", got)
+	}
+}
+
+func TestComposeTables(t *testing.T) {
+	a := stats.NewTable("A", "x")
+	a.AddRow(1)
+	b := stats.NewTable("B", "y")
+	b.AddRow(2)
+	out := composeTables(a, b).String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("missing sub-tables: %q", out)
+	}
+	if strings.Contains(out, "\n\n\n\n") {
+		t.Fatalf("excess blank lines: %q", out)
+	}
+}

@@ -1,0 +1,97 @@
+package kernel
+
+import (
+	"sort"
+
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// ARPEntry is one ARP cache entry, with the attribution the debugging
+// scenario (§2) needs: which local process, if any, originated the traffic
+// that created the entry.
+type ARPEntry struct {
+	IP      packet.IPv4
+	MAC     packet.MAC
+	Learned sim.Time
+	// Source attribution for locally generated ARP traffic (zero when the
+	// entry was learned from remote traffic).
+	LocalPID uint32
+	LocalCmd string
+}
+
+// ARPCache is the kernel ARP table. Under kernel bypass, applications speak
+// ARP themselves and this cache sees nothing — the paper's debugging
+// scenario. Under kernel or KOPI interposition, the interposition layer
+// feeds it.
+type ARPCache struct {
+	entries map[packet.IPv4]*ARPEntry
+
+	// RequestsSeen counts outbound ARP requests observed, keyed by the
+	// originating pid (0 = unattributed).
+	RequestsSeen map[uint32]uint64
+}
+
+// NewARPCache creates an empty cache.
+func NewARPCache() *ARPCache {
+	return &ARPCache{
+		entries:      map[packet.IPv4]*ARPEntry{},
+		RequestsSeen: map[uint32]uint64{},
+	}
+}
+
+// Learn records a mapping.
+func (a *ARPCache) Learn(ip packet.IPv4, mac packet.MAC, now sim.Time, pid uint32, cmd string) {
+	a.entries[ip] = &ARPEntry{IP: ip, MAC: mac, Learned: now, LocalPID: pid, LocalCmd: cmd}
+}
+
+// Observe inspects a packet flowing through an interposition point and
+// updates the cache: replies teach mappings, locally originated requests
+// are counted with attribution.
+func (a *ARPCache) Observe(p *packet.Packet, now sim.Time, outbound bool) {
+	if p.ARP == nil {
+		return
+	}
+	switch p.ARP.Op {
+	case packet.ARPReply:
+		a.Learn(p.ARP.SenderIP, p.ARP.SenderHW, now, 0, "")
+	case packet.ARPRequest:
+		if outbound {
+			pid := uint32(0)
+			if p.Meta.TrustedMeta {
+				pid = p.Meta.PID
+			}
+			a.RequestsSeen[pid]++
+		}
+	}
+}
+
+// Lookup resolves an IP.
+func (a *ARPCache) Lookup(ip packet.IPv4) (packet.MAC, bool) {
+	e, ok := a.entries[ip]
+	if !ok {
+		return packet.MAC{}, false
+	}
+	return e.MAC, true
+}
+
+// Entries returns the cache sorted by IP (the `arp -a` view).
+func (a *ARPCache) Entries() []*ARPEntry {
+	out := make([]*ARPEntry, 0, len(a.entries))
+	for _, e := range a.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out
+}
+
+// TopRequester returns the pid with the most observed outbound ARP requests
+// and its count — how an admin traces an ARP flood to a process.
+func (a *ARPCache) TopRequester() (pid uint32, count uint64) {
+	for p, c := range a.RequestsSeen {
+		if c > count || (c == count && p > pid) {
+			pid, count = p, c
+		}
+	}
+	return pid, count
+}

@@ -1,0 +1,424 @@
+package nic
+
+import (
+	"norman/internal/mem"
+	"norman/internal/overlay"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// pipeOccupancy is the pipeline's per-frame occupancy: the datapath is twice
+// wire-width, so the pipeline itself never throttles below line rate; overlay
+// programs add latency but, being pipelined, no occupancy (§4.1's on-path
+// FPGA assumption — this is the charitable hardware model, and E1/E4 verify
+// the consequence that interposition costs latency, not throughput).
+func (n *NIC) pipeOccupancy(frameLen int) sim.Duration {
+	occ := sim.PerByte(frameLen, 2*n.model.WireBW)
+	if min := n.model.NICCycles(1); occ < min {
+		occ = min
+	}
+	return occ
+}
+
+// dmaCost returns the DMA engine occupancy for moving one descriptor plus
+// frameLen payload bytes between host memory and the NIC.
+//
+// Payload moves with non-allocating streaming writes/reads (how high-rate
+// NICs are configured to avoid flooding the LLC), so it costs plain PCIe
+// bandwidth. Descriptor ring slots are the DDIO-cached state: on RX the NIC
+// must *read* the posted descriptor (to learn the buffer address) and write
+// the completion back, so a descriptor that has fallen out of the DDIO ways
+// stalls the engine on a DRAM round trip plus the completion writeback.
+// Once the active ring working set (connections × ring slots × 64B)
+// outgrows the DDIO share of the LLC, every packet pays this — which is the
+// paper's >1024-connection cliff (E3). On TX the descriptor read is
+// prefetchable ahead of need (the doorbell announces it), so misses cost
+// nothing extra.
+func (n *NIC) dmaCost(c *Conn, ring *mem.Ring, index uint64, frameLen int, rx bool) sim.Duration {
+	cost := n.model.DMA(64 + frameLen)
+	if n.llc == nil {
+		return cost
+	}
+	descHit := n.llc.DMAAccess(ring.SlotAddr(index))
+	if descHit {
+		n.DMADescHit++
+	} else {
+		n.DMADescMiss++
+		if rx {
+			// A cold posted-descriptor read is a dependent DRAM round
+			// trip the engine cannot overlap (it needs the buffer address
+			// before it can write), plus the completion writeback.
+			cost += sim.Duration(n.model.DRAMAccess).Scale(2.5)
+		}
+	}
+	return cost
+}
+
+// stamp applies the connection's kernel-programmed metadata to a packet.
+// This is the NIC-resident process view: only connections opened through the
+// kernel control plane carry trusted metadata. Packets that arrive already
+// trusted (stamped by the in-kernel or sidecar dataplane before reaching a
+// kernel-owned NIC queue) keep their attribution — the NIC never downgrades
+// a privileged stamp, it only adds one where the connection context has it.
+func stamp(c *Conn, p *packet.Packet, now sim.Time) {
+	if c.Meta.TrustedMeta || !p.Meta.TrustedMeta {
+		p.Meta.UID = c.Meta.UID
+		p.Meta.PID = c.Meta.PID
+		p.Meta.Command = c.Meta.Command
+		p.Meta.CommandID = c.Meta.CommandID
+		p.Meta.ConnID = c.ID
+		p.Meta.TrustedMeta = c.Meta.TrustedMeta
+	}
+	p.Meta.Enqueued = now
+}
+
+// DoorbellTx is the MMIO doorbell: the application (or kernel driver) has
+// published descriptors in c's TX ring. The NIC drains the ring through the
+// egress pipeline. The caller accounts its own MMIO write cost; everything
+// from the doorbell onward is NIC time.
+func (n *NIC) DoorbellTx(c *Conn) {
+	if c.txDraining {
+		return // drain already in flight; it will pick up new descriptors
+	}
+	c.txDraining = true
+	n.drainTx(c)
+}
+
+func (n *NIC) drainTx(c *Conn) {
+	now := n.eng.Now()
+	if c.TX.Empty() {
+		c.txDraining = false
+		if c.NotifyTx {
+			n.pushNotify(c, mem.NotifyTxDrained, now)
+		}
+		return
+	}
+	if c.rlRate > 0 {
+		// Per-connection pacing: fetch the next descriptor only when the
+		// token bucket covers the head frame.
+		head, err := c.TX.Peek()
+		if err == nil {
+			if now > c.rlLast {
+				c.rlTokens += now.Sub(c.rlLast).Seconds() * c.rlRate
+				if c.rlTokens > c.rlBurst {
+					c.rlTokens = c.rlBurst
+				}
+				c.rlLast = now
+			}
+			need := float64(head.Pkt.FrameLen())
+			if c.rlTokens < need {
+				if !c.rlWaiting {
+					c.rlWaiting = true
+					// The extra nanosecond absorbs float truncation; a
+					// zero wait would respin at the same instant forever.
+					wait := sim.Duration((need-c.rlTokens)/c.rlRate*float64(sim.Second)) + sim.Nanosecond
+					n.eng.After(wait, func() {
+						c.rlWaiting = false
+						n.drainTx(c)
+					})
+				}
+				return
+			}
+		}
+	}
+	if n.txInflight >= n.txWindow {
+		// NIC staging buffer full: stall this queue until a slot frees.
+		// txDraining stays set so doorbells do not start a second chain.
+		if !c.txStalled {
+			c.txStalled = true
+			n.txStalled = append(n.txStalled, c)
+		}
+		return
+	}
+	n.txInflight++
+	index := c.TX.Tail()
+	d, err := c.TX.Pop()
+	if err != nil {
+		c.txDraining = false
+		n.txInflight--
+		return
+	}
+	p := d.Pkt
+	frame := p.FrameLen()
+	if c.rlRate > 0 {
+		c.rlTokens -= float64(frame)
+	}
+
+	// Fetch descriptor + payload over PCIe. The fetch engine is pipelined:
+	// the next descriptor is fetched as soon as the DMA engine frees up,
+	// while this packet rides its own latency chain through the pipeline.
+	_, fetchDone := n.dma.Acquire(now, n.dmaCost(c, c.TX, index, frame, false))
+	n.eng.At(fetchDone, func() { n.drainTx(c) })
+	arrive := fetchDone.Add(n.model.DMALatency)
+
+	n.eng.At(arrive, func() {
+		now := n.eng.Now()
+		if n.Down(now) {
+			n.TxDropVerdict++ // dataplane outage: frame lost
+			n.txSlotFree()
+			return
+		}
+		stamp(c, p, d.Produced)
+		_, pipeDone := n.pipeline.Acquire(now, n.pipeOccupancy(frame))
+		lat := sim.Duration(n.model.NICPipeline)
+		if n.egress != nil {
+			verdict, cycles := n.egress.Run(p, env{n: n, now: now, c: c})
+			lat += n.model.NICCycles(cycles)
+			if verdict == overlay.VerdictDrop {
+				n.TxDropVerdict++
+				n.txSlotFree()
+				return
+			}
+		}
+		n.eng.At(pipeDone.Add(lat), func() {
+			// TSO: the pipeline cuts oversized TCP segments to wire MSS.
+			if c.tsoMSS > 0 && p.TCP != nil && p.PayloadLen > c.tsoMSS {
+				// The super-segment holds one staging slot but produces
+				// several wire frames, each of which releases one slot on
+				// its way out (directly or via the scheduler hand-off);
+				// pre-charge the difference so accounting balances.
+				nSegs := (p.PayloadLen + c.tsoMSS - 1) / c.tsoMSS
+				n.txInflight += nSegs - 1
+				for off := 0; off < p.PayloadLen; off += c.tsoMSS {
+					seg := p.Clone()
+					seg.TCP.Seq = p.TCP.Seq + uint32(off)
+					seg.PayloadLen = min(c.tsoMSS, p.PayloadLen-off)
+					seg.Payload = nil
+					n.sendToWire(seg, c)
+				}
+				return
+			}
+			n.sendToWire(p, c)
+		})
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// txSlotFree releases one staging-buffer slot and resumes a stalled queue.
+func (n *NIC) txSlotFree() {
+	n.txInflight--
+	for len(n.txStalled) > 0 {
+		c := n.txStalled[0]
+		n.txStalled = n.txStalled[1:]
+		c.txStalled = false
+		if c.txDraining {
+			n.drainTx(c)
+			return
+		}
+	}
+}
+
+// sendToWire hands a pipeline-approved frame to the scheduler (or straight
+// to the wire when no qdisc is installed).
+func (n *NIC) sendToWire(p *packet.Packet, c *Conn) {
+	now := n.eng.Now()
+	if n.classifier != nil {
+		p.Meta.Class = n.classifier(p)
+	}
+	if n.sched == nil {
+		n.transmit(p, now, true)
+		return
+	}
+	// The scheduler (with its own per-class bounds) takes over buffering;
+	// the staging slot frees as soon as the packet is classified into it.
+	n.sched.Enqueue(p, now)
+	n.txSlotFree()
+	n.pumpWire()
+}
+
+// pumpWire keeps exactly one pending dequeue event against the scheduler.
+func (n *NIC) pumpWire() {
+	if n.schedPump || n.sched == nil {
+		return
+	}
+	now := n.eng.Now()
+	at, ok := n.sched.ReadyAt(now)
+	if !ok {
+		return
+	}
+	if free := n.wireTx.FreeAt(); free > at {
+		at = free
+	}
+	if at < now {
+		at = now
+	}
+	n.schedPump = true
+	n.eng.At(at, func() {
+		n.schedPump = false
+		now := n.eng.Now()
+		if p, ok := n.sched.Dequeue(now); ok {
+			n.transmit(p, now, false)
+			n.pumpWire()
+			return
+		}
+		// No progress (e.g. a shaper's tokens not yet accrued): retry a
+		// little later rather than spinning at this instant.
+		n.eng.After(100*sim.Nanosecond, n.pumpWire)
+	})
+}
+
+// transmit serializes a frame onto the wire. freeSlot marks packets still
+// holding a staging-buffer slot (the unscheduled path).
+func (n *NIC) transmit(p *packet.Packet, now sim.Time, freeSlot bool) {
+	frame := p.FrameLen()
+	_, done := n.wireTx.Acquire(now, n.model.Wire(frame))
+	n.TxFrames++
+	n.TxBytes += uint64(frame)
+	if n.tap != nil {
+		n.tap.Offer(p, now)
+	}
+	if cn, ok := n.conns[p.Meta.ConnID]; ok {
+		cn.TxSent++
+	}
+	out := p
+	n.eng.At(done, func() {
+		if freeSlot {
+			n.txSlotFree()
+		}
+		if n.OnTransmit != nil {
+			n.OnTransmit(out, n.eng.Now())
+		}
+	})
+}
+
+// InjectTx transmits a control-plane-originated frame (ARP replies, ICMP
+// from the kernel): it enters the egress pipeline directly rather than
+// through a connection ring — the kernel owns the NIC (§4.4) and needs no
+// descriptor to speak.
+func (n *NIC) InjectTx(p *packet.Packet) {
+	now := n.eng.Now()
+	if n.Down(now) {
+		n.TxDropVerdict++
+		return
+	}
+	_, pipeDone := n.pipeline.Acquire(now, n.pipeOccupancy(p.FrameLen()))
+	n.eng.At(pipeDone.Add(sim.Duration(n.model.NICPipeline)), func() {
+		n.transmit(p, n.eng.Now(), false)
+	})
+}
+
+// DeliverFromWire is the wire-side entry: a frame starts arriving at the
+// current engine time and is processed once its last bit is in — ingress is
+// serialized at line rate, so no experiment can observe goodput above it.
+func (n *NIC) DeliverFromWire(p *packet.Packet) {
+	_, arrived := n.wireRx.Acquire(n.eng.Now(), n.model.Wire(p.FrameLen()))
+	n.eng.At(arrived, func() { n.rxFrame(p) })
+}
+
+func (n *NIC) rxFrame(p *packet.Packet) {
+	now := n.eng.Now()
+	n.RxWire++
+	if n.rxInflight >= n.rxWindow {
+		n.RxFifoDrop++
+		return
+	}
+	if n.Down(now) {
+		n.RxOutageDrop++
+		if n.SlowPath != nil {
+			n.RxSlowPath++
+			n.SlowPath(p, now)
+		}
+		return
+	}
+
+	n.rxInflight++
+	_, pipeDone := n.pipeline.Acquire(now, n.pipeOccupancy(p.FrameLen()))
+	lat := sim.Duration(n.model.NICPipeline)
+
+	// Steer first so trusted metadata is stamped before the overlay runs —
+	// the overlay's uid/pid/cmd fields come from the connection context.
+	c := n.steer(p)
+	if c != nil {
+		stamp(c, p, now)
+	}
+	if n.tap != nil {
+		n.tap.Offer(p, now)
+	}
+
+	if n.ingress != nil {
+		verdict, cycles := n.ingress.Run(p, env{n: n, now: now, c: c})
+		lat += n.model.NICCycles(cycles)
+		if verdict == overlay.VerdictDrop {
+			n.RxDropVerdict++
+			n.rxInflight--
+			return
+		}
+	}
+
+	if c == nil {
+		if n.SlowPath != nil {
+			n.RxSlowPath++
+			at := pipeDone.Add(lat)
+			n.eng.At(at, func() {
+				n.rxInflight--
+				n.SlowPath(p, n.eng.Now())
+			})
+		} else {
+			n.RxDropNoSteer++
+			n.rxInflight--
+		}
+		return
+	}
+
+	// DMA the frame into the connection's RX ring.
+	index := c.RX.Head()
+	start := pipeDone.Add(lat)
+	dmaAt := start
+	if free := n.dma.FreeAt(); free > dmaAt {
+		dmaAt = free
+	}
+	n.eng.At(dmaAt, func() {
+		now := n.eng.Now()
+		_, dmaDone := n.dma.Acquire(now, n.dmaCost(c, c.RX, index, p.FrameLen(), true))
+		visible := dmaDone.Add(n.model.DMALatency)
+		n.eng.At(visible, func() {
+			now := n.eng.Now()
+			n.rxInflight--
+			if err := c.RX.Push(mem.Desc{Pkt: p, Produced: p.Meta.Enqueued}); err != nil {
+				n.RxDropRing++
+				c.RxDropped++
+				return
+			}
+			c.RxDelivered++
+			if c.NotifyRx {
+				n.pushNotify(c, mem.NotifyRxReady, now)
+			}
+			if n.OnRxDeliver != nil {
+				n.OnRxDeliver(c, now)
+			}
+		})
+	})
+}
+
+// steer resolves the destination connection for an inbound frame.
+func (n *NIC) steer(p *packet.Packet) *Conn {
+	if k, ok := p.Flow(); ok {
+		if id, ok := n.steering[k]; ok {
+			if c, ok := n.conns[id]; ok {
+				return c
+			}
+		}
+		// Also try the destination-side normalized key (server side of a
+		// flow steered by local tuple).
+		if id, ok := n.steering[k.Reverse()]; ok {
+			if c, ok := n.conns[id]; ok {
+				return c
+			}
+		}
+	}
+	if c := n.rssSteer(p); c != nil {
+		return c
+	}
+	if n.defaultConn != 0 {
+		if c, ok := n.conns[n.defaultConn]; ok {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,385 @@
+// Package nic models the on-path programmable SmartNIC that Norman targets
+// (§4.1): per-connection descriptor rings reached by DMA and MMIO doorbells,
+// an ingress/egress pipeline with loadable overlay programs, flow steering,
+// an egress scheduler (qdisc), a capture tap, notification generation, a
+// bounded on-NIC SRAM budget with an optional software slow path, and a
+// DDIO-aware DMA engine whose cost model reproduces the paper's
+// connection-scaling cliff.
+//
+// The NIC is architecture-neutral: the same device backs the raw-bypass,
+// hypervisor-switch and KOPI architectures — they differ only in which
+// features the control plane programs, which is exactly the comparison the
+// paper draws.
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"norman/internal/cache"
+	"norman/internal/mem"
+	"norman/internal/overlay"
+	"norman/internal/packet"
+	"norman/internal/qos"
+	"norman/internal/sim"
+	"norman/internal/sniff"
+	"norman/internal/timing"
+)
+
+// Errors.
+var (
+	ErrSRAMExhausted = errors.New("nic: on-NIC SRAM exhausted")
+	ErrNoSuchConn    = errors.New("nic: no such connection")
+)
+
+// Config assembles a NIC over shared substrates.
+type Config struct {
+	Engine *sim.Engine
+	Model  timing.Model
+	LLC    *cache.LLC // host LLC shared with the host model; nil = no cache modeling
+	Alloc  *mem.Alloc // host physical address allocator
+
+	RingSize   int // descriptors per ring (power of two)
+	BufBytes   int // host buffer bytes per descriptor
+	SRAMBudget int // on-NIC memory budget; 0 = Model.NICSRAMBytes
+}
+
+// Conn is one connection's NIC-side state: a TX and an RX ring pinned in
+// host memory, the trusted metadata the kernel programmed for it (§4.3), and
+// its notification configuration.
+type Conn struct {
+	ID   uint64
+	TX   *mem.Ring
+	RX   *mem.Ring
+	Meta packet.Meta // stamped on every packet the NIC handles for this conn
+
+	NotifyRx bool
+	NotifyTx bool
+	Queue    *mem.NotifyQueue // owning process's notification queue
+	// NotifyCoalesce batches notification interrupts: at most one OnNotify
+	// callback per window (§4.3's interrupt moderation for low-activity
+	// queues). Zero means immediate delivery.
+	NotifyCoalesce sim.Duration
+	notifyArmed    bool
+	lastNotifyAt   sim.Time
+
+	bufBase  uint64 // host buffer region base address
+	bufBytes int    // total buffer region size (TX half + RX half)
+
+	txDraining bool // a TX drain chain is in flight
+	txStalled  bool // drain paused on the NIC TX admission window
+
+	// TSO (TCP segmentation offload, the classic fixed-function offload of
+	// §3): when non-zero, oversized TCP segments posted to this connection
+	// are cut into tsoMSS-sized wire segments by the NIC — one descriptor,
+	// one DMA, one doorbell for up to 64KB of payload.
+	tsoMSS int
+
+	// Per-connection egress rate limit (SENIC/PicNIC-style offload): the
+	// TX drain paces descriptor fetches against a token bucket, so a
+	// misbehaving sender is throttled before its traffic ever reaches the
+	// shared scheduler. Zero rate = unlimited.
+	rlRate    float64 // bytes per second
+	rlBurst   float64 // bucket depth in bytes
+	rlTokens  float64
+	rlLast    sim.Time
+	rlWaiting bool
+
+	RxDelivered uint64
+	RxDropped   uint64
+	TxSent      uint64
+}
+
+// bufAddr maps a descriptor index to its payload buffer address. The region
+// is split into a TX half and an RX half, each with ringSize slots of
+// bufBytes each.
+func (c *Conn) bufAddr(index uint64, rx bool, ringSize, bufBytes int) uint64 {
+	off := (index % uint64(ringSize)) * uint64(bufBytes)
+	if rx {
+		off += uint64(c.bufBytes) / 2
+	}
+	return c.bufBase + off
+}
+
+// NIC is the simulated SmartNIC.
+type NIC struct {
+	eng   *sim.Engine
+	model timing.Model
+	llc   *cache.LLC
+	alloc *mem.Alloc
+
+	ringSize int
+	bufBytes int
+
+	// Resource servers.
+	dma    *sim.Server // PCIe DMA engine
+	wireTx *sim.Server // egress serialization
+	wireRx *sim.Server // ingress serialization
+	// The pipeline is fully pipelined: programs add latency, not occupancy;
+	// occupancy is set by the internal datapath width.
+	pipeline *sim.Server
+
+	conns       map[uint64]*Conn
+	steering    map[packet.FlowKey]uint64 // flow -> conn id
+	defaultConn uint64                    // conn id for unsteered traffic, 0 = none
+
+	// RSS fallback steering (rss.go).
+	rssKey    [RSSKeySize]byte
+	rssQueues []uint64
+
+	// TX admission window: descriptors fetched from host rings but not yet
+	// handed to the scheduler (or, with no scheduler, not yet transmitted).
+	// A real NIC has a few KB of staging buffer, not an infinite FIFO; this
+	// bound is what propagates wire backpressure into the host rings.
+	txInflight int
+	txWindow   int
+	txStalled  []*Conn
+
+	// RX ingress FIFO: frames in flight between the wire and their DMA
+	// completion. When the DMA engine stalls (cold descriptors, DDIO
+	// exhaustion) the FIFO overflows and the NIC drops on the floor, as
+	// real MACs do — RxFifoDrop is the E3 cliff made visible.
+	rxInflight int
+	rxWindow   int
+
+	ingress *overlay.Machine
+	egress  *overlay.Machine
+
+	sched      qos.Qdisc // egress scheduler; nil = pure FIFO via wire server
+	schedPump  bool
+	classifier func(*packet.Packet) uint32 // egress class assignment; nil = Meta.Class as-is
+
+	tap *sniff.Tap
+
+	sramBudget int
+	sramUsed   int
+
+	// Bitstream reconfiguration outage (§4.4): until this instant the
+	// dataplane is down and traffic is dropped or punted.
+	outageUntil sim.Time
+
+	// OnTransmit receives frames leaving on the wire.
+	OnTransmit func(p *packet.Packet, at sim.Time)
+	// OnRxDeliver fires when a packet has been DMA'd into a connection's RX
+	// ring and is visible to the host.
+	OnRxDeliver func(c *Conn, at sim.Time)
+	// SlowPath, when non-nil, receives packets the NIC cannot handle
+	// (unsteered traffic, SRAM overflow flows, outage traffic). Nil means
+	// such packets are dropped.
+	SlowPath func(p *packet.Packet, at sim.Time)
+	// OnNotify fires when the NIC appends to a notification queue (the
+	// kernel's cue to wake a blocked thread, §4.3).
+	OnNotify func(c *Conn, kind mem.NotifyKind, at sim.Time)
+
+	// Counters.
+	RxWire        uint64 // frames that arrived from the wire
+	RxDropNoSteer uint64
+	RxDropRing    uint64
+	RxDropVerdict uint64
+	RxSlowPath    uint64
+	RxOutageDrop  uint64
+	RxFifoDrop    uint64
+	TxFrames      uint64
+	TxDropVerdict uint64
+	TxBytes       uint64
+	DMADescMiss   uint64
+	DMADescHit    uint64
+}
+
+// New builds a NIC.
+func New(cfg Config) *NIC {
+	if cfg.Engine == nil {
+		panic("nic: Config.Engine is required")
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 512
+	}
+	if cfg.BufBytes <= 0 {
+		cfg.BufBytes = 2048
+	}
+	if cfg.SRAMBudget <= 0 {
+		cfg.SRAMBudget = cfg.Model.NICSRAMBytes
+	}
+	if cfg.Alloc == nil {
+		cfg.Alloc = mem.NewAlloc()
+	}
+	return &NIC{
+		eng:        cfg.Engine,
+		model:      cfg.Model,
+		llc:        cfg.LLC,
+		alloc:      cfg.Alloc,
+		ringSize:   cfg.RingSize,
+		bufBytes:   cfg.BufBytes,
+		dma:        sim.NewServer("nic.dma"),
+		wireTx:     sim.NewServer("nic.wiretx"),
+		wireRx:     sim.NewServer("nic.wirerx"),
+		pipeline:   sim.NewServer("nic.pipeline"),
+		conns:      make(map[uint64]*Conn),
+		steering:   make(map[packet.FlowKey]uint64),
+		sramBudget: cfg.SRAMBudget,
+		txWindow:   32,
+		rxWindow:   128,
+	}
+}
+
+// connSRAM is the on-NIC footprint of one connection: head/tail shadow
+// registers for both rings plus scheduling and metadata context. The
+// descriptor rings themselves are pinned *host* memory (that is the point of
+// the design); only per-queue context lives on the NIC, which is what prior
+// work found to be the scalability bottleneck (§5, [23,45]).
+func (n *NIC) connSRAM() int {
+	return 2*64 /* ring head/tail shadow + doorbell state */ + 128 /* conn context */
+}
+
+// OpenConn allocates rings and NIC state for a connection. Returns
+// ErrSRAMExhausted when the budget cannot hold another connection — the
+// caller (kernel control plane) then either fails the connect or arranges
+// slow-path service, which experiment E5 exercises.
+func (n *NIC) OpenConn(id uint64, meta packet.Meta, queue *mem.NotifyQueue) (*Conn, error) {
+	if _, dup := n.conns[id]; dup {
+		return nil, fmt.Errorf("nic: connection %d already open", id)
+	}
+	need := n.connSRAM()
+	if n.sramUsed+need > n.sramBudget {
+		return nil, fmt.Errorf("%w: %d conns, %d/%d bytes", ErrSRAMExhausted, len(n.conns), n.sramUsed, n.sramBudget)
+	}
+	ringBytes := n.ringSize * 64
+	bufBytes := n.ringSize * n.bufBytes
+	c := &Conn{
+		ID:       id,
+		TX:       mem.NewRing(n.ringSize, n.alloc.Take(ringBytes, 4096)),
+		RX:       mem.NewRing(n.ringSize, n.alloc.Take(ringBytes, 4096)),
+		Meta:     meta,
+		Queue:    queue,
+		bufBase:  n.alloc.Take(2*bufBytes, 4096),
+		bufBytes: 2 * bufBytes,
+	}
+	n.conns[id] = c
+	n.sramUsed += need
+	return c, nil
+}
+
+// CloseConn releases a connection's NIC state and steering entries.
+func (n *NIC) CloseConn(id uint64) error {
+	if _, ok := n.conns[id]; !ok {
+		return ErrNoSuchConn
+	}
+	delete(n.conns, id)
+	for k, cid := range n.steering {
+		if cid == id {
+			delete(n.steering, k)
+			n.sramUsed -= 16
+		}
+	}
+	n.sramUsed -= n.connSRAM()
+	return nil
+}
+
+// Conn returns an open connection.
+func (n *NIC) Conn(id uint64) (*Conn, bool) {
+	c, ok := n.conns[id]
+	return c, ok
+}
+
+// ConnCount returns the number of open connections.
+func (n *NIC) ConnCount() int { return len(n.conns) }
+
+// SteerFlow installs an exact-match steering entry (flow director). Each
+// entry consumes SRAM.
+func (n *NIC) SteerFlow(k packet.FlowKey, connID uint64) error {
+	if _, ok := n.conns[connID]; !ok {
+		return ErrNoSuchConn
+	}
+	if _, exists := n.steering[k]; !exists {
+		if n.sramUsed+16 > n.sramBudget {
+			return fmt.Errorf("%w: steering table", ErrSRAMExhausted)
+		}
+		n.sramUsed += 16
+	}
+	n.steering[k] = connID
+	return nil
+}
+
+// SetDefaultConn routes unsteered traffic to the given connection (e.g. the
+// kernel-stack architecture's kernel-owned queue); 0 restores
+// drop/slow-path behavior.
+func (n *NIC) SetDefaultConn(id uint64) { n.defaultConn = id }
+
+// SetScheduler installs the egress qdisc (nil = plain FIFO at the wire).
+func (n *NIC) SetScheduler(q qos.Qdisc) { n.sched = q }
+
+// Scheduler returns the installed egress qdisc.
+func (n *NIC) Scheduler() qos.Qdisc { return n.sched }
+
+// SetClassifier installs the egress class assignment function used before
+// the scheduler (the kernel compiles tc filters down to this).
+func (n *NIC) SetClassifier(f func(*packet.Packet) uint32) { n.classifier = f }
+
+// SetTap installs the capture tap fed by overlay mirror instructions and —
+// when promiscuous — by every frame the pipeline sees.
+func (n *NIC) SetTap(t *sniff.Tap) { n.tap = t }
+
+// Tap returns the installed tap.
+func (n *NIC) Tap() *sniff.Tap { return n.tap }
+
+// SRAM returns used and budget bytes, including loaded programs.
+func (n *NIC) SRAM() (used, budget int) {
+	u := n.sramUsed
+	if n.ingress != nil {
+		u += n.ingress.Program().SRAMBytes()
+	}
+	if n.egress != nil {
+		u += n.egress.Program().SRAMBytes()
+	}
+	return u, n.sramBudget
+}
+
+// Model returns the NIC's cost model.
+func (n *NIC) Model() timing.Model { return n.model }
+
+// SetTSO enables TCP segmentation offload on a connection with the given
+// wire MSS (0 disables). A fixed-function offload: useful, but note what it
+// cannot do — evolve (§3's argument for programmability).
+func (n *NIC) SetTSO(id uint64, mss int) error {
+	c, ok := n.conns[id]
+	if !ok {
+		return ErrNoSuchConn
+	}
+	if mss < 0 {
+		mss = 0
+	}
+	c.tsoMSS = mss
+	return nil
+}
+
+// SetConnRate installs (or clears, with rate<=0) a per-connection egress
+// rate limit in bytes/second with the given burst. Programmed by the
+// control plane through configuration registers (§4.4).
+func (n *NIC) SetConnRate(id uint64, rate, burst float64) error {
+	c, ok := n.conns[id]
+	if !ok {
+		return ErrNoSuchConn
+	}
+	if rate <= 0 {
+		c.rlRate = 0
+		return nil
+	}
+	if burst < 1514 {
+		burst = 1514
+	}
+	c.rlRate = rate
+	c.rlBurst = burst
+	c.rlTokens = burst
+	c.rlLast = n.eng.Now()
+	return nil
+}
+
+// BufAddr exposes a connection's payload buffer address for a descriptor
+// index so the host side can charge its own cache touches against the same
+// lines the DMA engine uses.
+func (n *NIC) BufAddr(c *Conn, index uint64, rx bool) uint64 {
+	return c.bufAddr(index, rx, n.ringSize, n.bufBytes)
+}
+
+// Down reports whether the dataplane is inside a bitstream-reload outage.
+func (n *NIC) Down(now sim.Time) bool { return now.Before(n.outageUntil) }

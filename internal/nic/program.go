@@ -1,0 +1,159 @@
+package nic
+
+import (
+	"fmt"
+
+	"norman/internal/mem"
+	"norman/internal/overlay"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// Direction selects the pipeline an overlay program attaches to.
+type Direction uint8
+
+// Directions.
+const (
+	Ingress Direction = iota // wire -> host
+	Egress                   // host -> wire
+)
+
+func (d Direction) String() string {
+	if d == Ingress {
+		return "ingress"
+	}
+	return "egress"
+}
+
+// LoadProgram installs a verified overlay program on one pipeline without an
+// outage — this is the paper's online policy update path (§4.4). It returns
+// the load latency (control-plane visible) and the new machine. The cost is
+// MMIO traffic proportional to program size: each instruction and table slot
+// is written through configuration registers.
+func (n *NIC) LoadProgram(dir Direction, p *overlay.Program) (*overlay.Machine, sim.Duration, error) {
+	m := overlay.NewMachine(p)
+	cost := n.programSRAMDelta(dir, p)
+	if cost > 0 {
+		used, budget := n.SRAM()
+		if used+cost > budget {
+			return nil, 0, fmt.Errorf("%w: program %q needs %d bytes, %d free",
+				ErrSRAMExhausted, p.Name, cost, budget-used)
+		}
+	}
+	// One MMIO write per instruction word plus one per declared table (the
+	// table contents are populated separately by the control plane).
+	writes := len(p.Code) + len(p.Tables) + len(p.Meters) + len(p.Counters)
+	load := sim.Duration(writes) * sim.Duration(n.model.MMIOWrite)
+	switch dir {
+	case Ingress:
+		n.ingress = m
+	case Egress:
+		n.egress = m
+	}
+	return m, load, nil
+}
+
+// programSRAMDelta returns the SRAM change from replacing dir's program
+// with p.
+func (n *NIC) programSRAMDelta(dir Direction, p *overlay.Program) int {
+	old := 0
+	switch dir {
+	case Ingress:
+		if n.ingress != nil {
+			old = n.ingress.Program().SRAMBytes()
+		}
+	case Egress:
+		if n.egress != nil {
+			old = n.egress.Program().SRAMBytes()
+		}
+	}
+	return p.SRAMBytes() - old
+}
+
+// UnloadProgram removes the program on one pipeline.
+func (n *NIC) UnloadProgram(dir Direction) {
+	if dir == Ingress {
+		n.ingress = nil
+	} else {
+		n.egress = nil
+	}
+}
+
+// Machine returns the machine currently loaded on a pipeline, or nil.
+func (n *NIC) Machine(dir Direction) *overlay.Machine {
+	if dir == Ingress {
+		return n.ingress
+	}
+	return n.egress
+}
+
+// DefaultBitstreamReload is the paper's "seconds or longer" (§4.4).
+const DefaultBitstreamReload = 3 * sim.Second
+
+// ReloadBitstream models a full FPGA reconfiguration: the dataplane is down
+// for the given duration (0 = DefaultBitstreamReload), during which arriving
+// traffic drops or takes the slow path; all loaded programs and dynamic
+// state are cleared, as a real respin would.
+func (n *NIC) ReloadBitstream(now sim.Time, d sim.Duration) sim.Time {
+	if d <= 0 {
+		d = DefaultBitstreamReload
+	}
+	n.outageUntil = now.Add(d)
+	n.ingress = nil
+	n.egress = nil
+	return n.outageUntil
+}
+
+// env adapts the NIC to overlay.Env for one packet run.
+type env struct {
+	n   *NIC
+	now sim.Time
+	c   *Conn // owning connection for notify, may be nil
+}
+
+// Now implements overlay.Env.
+func (e env) Now() sim.Time { return e.now }
+
+// Mirror implements overlay.Env by feeding the capture tap.
+func (e env) Mirror(p *packet.Packet) {
+	if e.n.tap != nil {
+		e.n.tap.Offer(p, e.now)
+	}
+}
+
+// Notify implements overlay.Env by appending to the owning connection's
+// notification queue.
+func (e env) Notify(p *packet.Packet) {
+	if e.c != nil {
+		e.n.pushNotify(e.c, mem.NotifyRxReady, e.now)
+	}
+}
+
+func (n *NIC) pushNotify(c *Conn, kind mem.NotifyKind, now sim.Time) {
+	if c.Queue == nil {
+		return
+	}
+	if !c.Queue.Push(mem.Notification{ConnID: c.ID, Kind: kind, At: now}) || n.OnNotify == nil {
+		return
+	}
+	if c.NotifyCoalesce <= 0 {
+		c.lastNotifyAt = now
+		n.OnNotify(c, kind, now)
+		return
+	}
+	// Interrupt moderation: fire at most one callback per coalescing
+	// window; everything queued meanwhile is drained by that one wake.
+	if c.notifyArmed {
+		return
+	}
+	c.notifyArmed = true
+	fireAt := c.lastNotifyAt.Add(c.NotifyCoalesce)
+	if fireAt < now {
+		fireAt = now
+	}
+	n.eng.At(fireAt, func() {
+		c.notifyArmed = false
+		c.lastNotifyAt = n.eng.Now()
+		n.OnNotify(c, kind, n.eng.Now())
+	})
+}

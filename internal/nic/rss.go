@@ -1,0 +1,102 @@
+package nic
+
+import (
+	"fmt"
+
+	"norman/internal/packet"
+)
+
+// Receive-side scaling: when a frame matches no exact steering entry, the
+// NIC can spread it over a set of queues by Toeplitz-hashing the 4-tuple —
+// how multi-queue NICs (and the paper's §2 "RSS custom hashing to partition
+// the NIC into virtual interfaces") direct flows without per-flow state.
+
+// RSSKeySize is the secret-key length used by the Toeplitz hash.
+const RSSKeySize = 40
+
+// DefaultRSSKey is the well-known Microsoft verification key; real
+// deployments randomize it per boot.
+var DefaultRSSKey = [RSSKeySize]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// Toeplitz computes the RSS hash of input under key: for each set bit of
+// the input (MSB first), XOR in the 32-bit window of the key starting at
+// that bit position.
+func Toeplitz(key [RSSKeySize]byte, input []byte) uint32 {
+	var result uint32
+	// The sliding 32-bit window over the key, starting at bit 0.
+	window := uint32(key[0])<<24 | uint32(key[1])<<16 | uint32(key[2])<<8 | uint32(key[3])
+	keyBit := 32 // index of the next key bit to shift in
+	for _, b := range input {
+		for mask := byte(0x80); mask != 0; mask >>= 1 {
+			if b&mask != 0 {
+				result ^= window
+			}
+			// Slide the window one bit.
+			next := byte(0)
+			if keyBit/8 < RSSKeySize && key[keyBit/8]&(0x80>>(keyBit%8)) != 0 {
+				next = 1
+			}
+			window = window<<1 | uint32(next)
+			keyBit++
+		}
+	}
+	return result
+}
+
+// RSSHash hashes an IPv4 transport flow (src addr, dst addr, src port, dst
+// port, all network order) — the "IPv4 with TCP/UDP" RSS input.
+func RSSHash(key [RSSKeySize]byte, k packet.FlowKey) uint32 {
+	var in [12]byte
+	in[0], in[1], in[2], in[3] = byte(k.Src>>24), byte(k.Src>>16), byte(k.Src>>8), byte(k.Src)
+	in[4], in[5], in[6], in[7] = byte(k.Dst>>24), byte(k.Dst>>16), byte(k.Dst>>8), byte(k.Dst)
+	in[8], in[9] = byte(k.SrcPort>>8), byte(k.SrcPort)
+	in[10], in[11] = byte(k.DstPort>>8), byte(k.DstPort)
+	return Toeplitz(key, in[:])
+}
+
+// SetRSS enables hash-based steering over the given queues (connection ids)
+// for traffic that matches no exact steering entry. Passing an empty slice
+// disables RSS. Each indirection-table entry consumes SRAM.
+func (n *NIC) SetRSS(key [RSSKeySize]byte, queues []uint64) error {
+	for _, id := range queues {
+		if _, ok := n.conns[id]; !ok {
+			return fmt.Errorf("nic: rss queue %d: %w", id, ErrNoSuchConn)
+		}
+	}
+	delta := (len(queues) - len(n.rssQueues)) * 8
+	used, budget := n.SRAM()
+	if used+delta > budget {
+		return fmt.Errorf("%w: rss indirection table", ErrSRAMExhausted)
+	}
+	n.sramUsed += delta
+	n.rssKey = key
+	n.rssQueues = append([]uint64(nil), queues...)
+	return nil
+}
+
+// rssSteer resolves a connection via the RSS indirection table, or nil.
+func (n *NIC) rssSteer(p *packet.Packet) *Conn {
+	if len(n.rssQueues) == 0 {
+		return nil
+	}
+	k, ok := p.Flow()
+	if !ok {
+		// Non-transport frames (e.g. ARP) land on queue 0, as hardware
+		// defaults do.
+		if c, ok := n.conns[n.rssQueues[0]]; ok {
+			return c
+		}
+		return nil
+	}
+	h := RSSHash(n.rssKey, k)
+	if c, ok := n.conns[n.rssQueues[h%uint32(len(n.rssQueues))]]; ok {
+		return c
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package overlay
+
+import "fmt"
+
+// Chain composes verified programs into one: packets flow through each
+// stage in order, and a stage's `pass` falls through to the next stage
+// (the last stage's `pass` remains terminal). `drop` anywhere is final.
+//
+// This is how the KOPI engine coexists multiple policies on one pipeline —
+// a firewall stage chained with a telemetry sampler, for instance — without
+// a program-aware composition language: concatenation is sound because
+// control flow is forward-only, so stage boundaries cannot be jumped back
+// across. Tables, meters and counters are namespaced per stage
+// ("s<i>.<name>") to avoid declaration collisions.
+func Chain(name string, stages ...*Program) (*Program, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("overlay: Chain wants at least one stage")
+	}
+	if len(stages) == 1 {
+		return stages[0], nil
+	}
+	out := &Program{Name: name, labels: map[string]int{}}
+	for si, st := range stages {
+		codeBase := len(out.Code)
+		tableBase := len(out.Tables)
+		meterBase := len(out.Meters)
+		counterBase := len(out.Counters)
+		last := si == len(stages)-1
+
+		for _, t := range st.Tables {
+			out.Tables = append(out.Tables, TableSpec{
+				Name: fmt.Sprintf("s%d.%s", si, t.Name), Capacity: t.Capacity,
+			})
+		}
+		for _, m := range st.Meters {
+			out.Meters = append(out.Meters, MeterSpec{
+				Name: fmt.Sprintf("s%d.%s", si, m.Name), Rate: m.Rate, Burst: m.Burst,
+			})
+		}
+		for _, c := range st.Counters {
+			out.Counters = append(out.Counters, CounterSpec{
+				Name: fmt.Sprintf("s%d.%s", si, c.Name),
+			})
+		}
+
+		// nextStage is where this stage's `pass` continues to. Stage code
+		// lengths are fixed, so it is simply the end of this stage's copy.
+		nextStage := codeBase + len(st.Code)
+		for _, in := range st.Code {
+			cp := in
+			if cp.Target >= 0 {
+				cp.Target += codeBase
+			}
+			switch cp.Op {
+			case OpLookup, OpUpdate:
+				cp.Index += tableBase
+			case OpMeter:
+				cp.Index += meterBase
+			case OpCount:
+				cp.Index += counterBase
+			case OpPass:
+				if !last {
+					cp = Inst{Op: OpJmp, Target: nextStage}
+				}
+			}
+			out.Code = append(out.Code, cp)
+		}
+	}
+	if err := Verify(out); err != nil {
+		return nil, fmt.Errorf("overlay: chained program invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package overlay
+
+import "testing"
+
+func TestChainStagesRunInOrder(t *testing.T) {
+	fw := mustAssemble(t, `
+ldf r0, dst_port
+jne r0, 80, ok
+drop
+ok:
+pass
+`)
+	telemetry := mustAssemble(t, `
+.counter seen
+count seen
+mirror
+pass
+`)
+	combined, err := Chain("fw+telemetry", fw, telemetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(combined)
+	mirrored := 0
+	env := &recEnv{onMirror: func() { mirrored++ }, onNotify: func() {}}
+
+	// Dropped by stage 1: stage 2 never runs.
+	if v, _ := m.Run(udp(1, 80, 0), env); v != VerdictDrop {
+		t.Fatal("stage 1 drop must be final")
+	}
+	if m.Counter("s1.seen") != 0 || mirrored != 0 {
+		t.Fatal("stage 2 must not run after a drop")
+	}
+	// Passed by stage 1: stage 2 counts and mirrors.
+	if v, _ := m.Run(udp(1, 443, 0), env); v != VerdictPass {
+		t.Fatal("pass flows through both stages")
+	}
+	if m.Counter("s1.seen") != 1 || mirrored != 1 {
+		t.Fatalf("stage 2 side effects: seen=%d mirrored=%d", m.Counter("s1.seen"), mirrored)
+	}
+}
+
+func TestChainNamespacesState(t *testing.T) {
+	a := mustAssemble(t, `
+.counter c
+count c
+pass
+`)
+	b := mustAssemble(t, `
+.counter c
+count c
+count c
+pass
+`)
+	combined, err := Chain("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(combined)
+	m.Run(udp(1, 2, 0), NopEnv{})
+	if m.Counter("s0.c") != 1 || m.Counter("s1.c") != 2 {
+		t.Fatalf("namespacing: s0.c=%d s1.c=%d", m.Counter("s0.c"), m.Counter("s1.c"))
+	}
+}
+
+func TestChainWithTables(t *testing.T) {
+	gate := mustAssemble(t, `
+.table allow 8
+ldf r0, conn
+lookup r1, allow, r0, miss
+pass
+miss:
+drop
+`)
+	mark := mustAssemble(t, `
+ldi r0, 5
+setf class, r0
+pass
+`)
+	combined, err := Chain("gate+mark", gate, mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(combined)
+	if err := m.TableInsert("s0.allow", 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := udp(1, 2, 0)
+	p.Meta.ConnID = 7
+	if v, _ := m.Run(p, NopEnv{}); v != VerdictPass {
+		t.Fatal("allowed conn passes")
+	}
+	if p.Meta.Class != 5 {
+		t.Fatal("second stage must have run")
+	}
+	q := udp(1, 2, 0)
+	q.Meta.ConnID = 9
+	if v, _ := m.Run(q, NopEnv{}); v != VerdictDrop {
+		t.Fatal("unknown conn drops at stage 1")
+	}
+	if q.Meta.Class != 0 {
+		t.Fatal("stage 2 must not touch dropped packets")
+	}
+}
+
+func TestChainSingleAndEmpty(t *testing.T) {
+	p := mustAssemble(t, "pass\n")
+	same, err := Chain("one", p)
+	if err != nil || same != p {
+		t.Fatalf("single-stage chain is the stage itself: %v", err)
+	}
+	if _, err := Chain("none"); err == nil {
+		t.Fatal("empty chain must error")
+	}
+}
+
+// TestChainVerifies: the composed program passes the verifier even with
+// forward jumps inside stages.
+func TestChainVerifies(t *testing.T) {
+	s1 := mustAssemble(t, `
+ldf r0, proto
+jeq r0, 17, u
+pass
+u:
+ldf r1, len
+jgt r1, 1000, big
+pass
+big:
+drop
+`)
+	s2 := mustAssemble(t, `
+.meter m 1000000 15000
+ldf r0, len
+meter r1, m, r0
+jeq r1, 1, ok
+drop
+ok:
+pass
+`)
+	combined, err := Chain("multi", s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(combined); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(combined)
+	if v, _ := m.Run(udp(1, 2, 100), NopEnv{}); v != VerdictPass {
+		t.Fatal("small packet passes both stages")
+	}
+}

@@ -1,0 +1,386 @@
+package overlay
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func udp(sport, dport uint16, payload int) *packet.Packet {
+	p := packet.NewUDP(packet.MAC{}, packet.MAC{}, packet.MakeIP(10, 0, 0, 1),
+		packet.MakeIP(10, 0, 0, 2), sport, dport, payload)
+	return p
+}
+
+func TestAssembleAndRunDropByPort(t *testing.T) {
+	prog := mustAssemble(t, `
+# drop UDP destined to 5432 unless from uid 1001
+ldf r0, dst_port
+jne r0, 5432, ok
+ldf r1, uid
+jeq r1, 1001, ok
+drop
+ok:
+pass
+`)
+	m := NewMachine(prog)
+
+	p := udp(1, 5432, 10)
+	if v, _ := m.Run(p, NopEnv{}); v != VerdictDrop {
+		t.Fatal("untrusted packet to 5432 should drop")
+	}
+	p.Meta.UID = 1001
+	p.Meta.TrustedMeta = true
+	if v, _ := m.Run(p, NopEnv{}); v != VerdictPass {
+		t.Fatal("owner's packet should pass")
+	}
+	other := udp(1, 80, 10)
+	if v, _ := m.Run(other, NopEnv{}); v != VerdictPass {
+		t.Fatal("other ports should pass")
+	}
+	if runs, cycles := m.Stats(); runs != 3 || cycles == 0 {
+		t.Fatalf("stats: %d runs %d cycles", runs, cycles)
+	}
+}
+
+func TestArithmeticAndFields(t *testing.T) {
+	prog := mustAssemble(t, `
+ldf r0, len
+ldi r1, 2
+shl r0, r1      # len * 4
+add r0, 100
+ldi r2, 340     # (60*4)+100 for a minimum frame
+jeq r0, r2, yes
+drop
+yes:
+pass
+`)
+	m := NewMachine(prog)
+	if v, _ := m.Run(udp(1, 2, 0), NopEnv{}); v != VerdictPass {
+		t.Fatal("arithmetic mismatch")
+	}
+}
+
+func TestTablesLookupUpdate(t *testing.T) {
+	prog := mustAssemble(t, `
+.table seen 4
+ldf r0, src_port
+lookup r1, seen, r0, miss
+pass
+miss:
+ldi r2, 1
+update seen, r0, r2
+drop
+`)
+	m := NewMachine(prog)
+	p := udp(7, 8, 0)
+	if v, _ := m.Run(p, NopEnv{}); v != VerdictDrop {
+		t.Fatal("first packet misses the table")
+	}
+	if v, _ := m.Run(p, NopEnv{}); v != VerdictPass {
+		t.Fatal("second packet should hit the dataplane-inserted entry")
+	}
+	if m.TableLen("seen") != 1 {
+		t.Fatalf("table len = %d", m.TableLen("seen"))
+	}
+	// Dataplane inserts silently stop at capacity.
+	for i := 0; i < 10; i++ {
+		m.Run(udp(uint16(100+i), 8, 0), NopEnv{})
+	}
+	if m.TableLen("seen") != 4 {
+		t.Fatalf("table should cap at 4, got %d", m.TableLen("seen"))
+	}
+}
+
+func TestControlPlaneTableInsert(t *testing.T) {
+	prog := mustAssemble(t, `
+.table t 2
+ldf r0, conn
+lookup r1, t, r0, miss
+pass
+miss:
+drop
+`)
+	m := NewMachine(prog)
+	if err := m.TableInsert("t", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TableInsert("t", 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TableInsert("t", 3, 30); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("want ErrTableFull, got %v", err)
+	}
+	// Updating an existing key is always allowed.
+	if err := m.TableInsert("t", 1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TableDelete("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TableInsert("t", 3, 30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterShapesRate(t *testing.T) {
+	// 1000 bytes/sec, burst 100 bytes.
+	prog := mustAssemble(t, `
+.meter m 1000 100
+ldf r0, len
+meter r1, m, r0
+jeq r1, 1, ok
+drop
+ok:
+pass
+`)
+	m := NewMachine(prog)
+	p := udp(1, 2, 18) // 60-byte frame
+	env := NopEnv{Time: 0}
+	// Burst allows one 60B frame; the second exceeds the bucket.
+	if v, _ := m.Run(p, env); v != VerdictPass {
+		t.Fatal("first frame within burst")
+	}
+	if v, _ := m.Run(p, env); v != VerdictDrop {
+		t.Fatal("second frame should exceed the bucket")
+	}
+	// After 100ms, 100 bytes accrue: one more frame fits.
+	env.Time = sim.Time(100 * sim.Millisecond)
+	if v, _ := m.Run(p, env); v != VerdictPass {
+		t.Fatal("bucket should refill over time")
+	}
+}
+
+func TestCountersMirrorNotify(t *testing.T) {
+	prog := mustAssemble(t, `
+.counter c
+count c
+mirror
+notify
+pass
+`)
+	m := NewMachine(prog)
+	var mirrored, notified int
+	env := &recEnv{onMirror: func() { mirrored++ }, onNotify: func() { notified++ }}
+	m.Run(udp(1, 2, 0), env)
+	m.Run(udp(1, 2, 0), env)
+	if m.Counter("c") != 2 || mirrored != 2 || notified != 2 {
+		t.Fatalf("c=%d mirrored=%d notified=%d", m.Counter("c"), mirrored, notified)
+	}
+}
+
+type recEnv struct {
+	onMirror func()
+	onNotify func()
+}
+
+func (e *recEnv) Now() sim.Time         { return 0 }
+func (e *recEnv) Mirror(*packet.Packet) { e.onMirror() }
+func (e *recEnv) Notify(*packet.Packet) { e.onNotify() }
+
+func TestSetfWritesMetadata(t *testing.T) {
+	prog := mustAssemble(t, `
+ldi r0, 7
+setf mark, r0
+ldi r1, 3
+setf class, r1
+pass
+`)
+	m := NewMachine(prog)
+	p := udp(1, 2, 0)
+	m.Run(p, NopEnv{})
+	if p.Meta.Mark != 7 || p.Meta.Class != 3 {
+		t.Fatalf("mark=%d class=%d", p.Meta.Mark, p.Meta.Class)
+	}
+}
+
+func TestVerifierRejectsBackwardJump(t *testing.T) {
+	p := &Program{Code: []Inst{
+		{Op: OpNop},
+		{Op: OpJmp, Target: 0},
+		{Op: OpPass},
+	}}
+	if err := Verify(p); !errors.Is(err, ErrBackwardJump) {
+		t.Fatalf("want backward-jump error, got %v", err)
+	}
+}
+
+func TestVerifierRejectsUninitRegister(t *testing.T) {
+	_, err := Assemble("t", "mov r0, r1\npass\n")
+	if !errors.Is(err, ErrUninitReg) {
+		t.Fatalf("want uninit error, got %v", err)
+	}
+	// Lookup miss path must treat rD as uninitialized.
+	_, err = Assemble("t", `
+.table t 4
+ldf r0, conn
+lookup r1, t, r0, miss
+pass
+miss:
+mov r2, r1
+drop
+`)
+	if !errors.Is(err, ErrUninitReg) {
+		t.Fatalf("lookup miss path must not leak rD: %v", err)
+	}
+}
+
+func TestVerifierRejectsFallOffEnd(t *testing.T) {
+	_, err := Assemble("t", "ldi r0, 1\n")
+	if !errors.Is(err, ErrFallOffEnd) {
+		t.Fatalf("want fall-off-end, got %v", err)
+	}
+}
+
+func TestVerifierAcceptsBranchInit(t *testing.T) {
+	// r1 initialized on both paths before use.
+	src := `
+ldf r0, proto
+jeq r0, 17, a
+ldi r1, 1
+jmp join
+a:
+ldi r1, 2
+join:
+jeq r1, 1, yes
+drop
+yes:
+pass
+`
+	if _, err := Assemble("t", src); err != nil {
+		t.Fatalf("both-paths-init should verify: %v", err)
+	}
+}
+
+func TestVerifierRejectsOnePathInit(t *testing.T) {
+	src := `
+ldf r0, proto
+jeq r0, 17, skip
+ldi r1, 1
+skip:
+jeq r1, 1, yes
+drop
+yes:
+pass
+`
+	if _, err := Assemble("t", src); !errors.Is(err, ErrUninitReg) {
+		t.Fatalf("one-path init must fail: %v", err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r0, r1\npass",                  // unknown mnemonic
+		"ldf r99, proto\npass",                // bad register
+		"ldf r0, nosuchfield\npass",           // bad field
+		"jmp nowhere\npass",                   // undefined label
+		".table t\npass",                      // malformed directive
+		"setf proto, r0\npass",                // read-only field
+		"lookup r0, t, r1, l\npass\nl:\ndrop", // undeclared table
+	}
+	for _, src := range cases {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("should fail: %q", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+.table flows 16
+.meter lim 1000000 15000
+.counter hits
+ldf r0, dst_port
+jne r0, 443, out
+ldf r1, len
+meter r2, lim, r1
+jeq r2, 0, out
+count hits
+lookup r3, flows, r0, out
+setf class, r3
+mirror
+pass
+out:
+drop
+`
+	p1 := mustAssemble(t, src)
+	p2, err := Assemble("rt", Disassemble(p1))
+	if err != nil {
+		t.Fatalf("reassemble: %v", err)
+	}
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatalf("length changed: %d vs %d", len(p1.Code), len(p2.Code))
+	}
+	for i := range p1.Code {
+		a, b := p1.Code[i], p2.Code[i]
+		if a.Op != b.Op || a.A != b.A || a.B != b.B || a.Imm != b.Imm ||
+			a.Val != b.Val || a.Target != b.Target || a.Index != b.Index || a.F != b.F {
+			t.Fatalf("inst %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSRAMBytes(t *testing.T) {
+	p := mustAssemble(t, `
+.table t 100
+.meter m 1 1
+.counter c
+pass
+`)
+	want := 1*8 + 100*16 + 32 + 8
+	if got := p.SRAMBytes(); got != want {
+		t.Fatalf("SRAMBytes = %d, want %d", got, want)
+	}
+}
+
+// Property: every verified random straight-line program terminates and
+// returns a verdict without panicking, in at most len(Code) steps of cost
+// accumulation.
+func TestRandomProgramsTerminateQuick(t *testing.T) {
+	ops := []string{"ldi r%d, %d", "ldf r%d, len", "add r%d, %d", "xor r%d, %d", "nop"}
+	rng := sim.NewRNG(3, "fuzz")
+	f := func(seed uint32) bool {
+		var b strings.Builder
+		n := 1 + int(seed%20)
+		for i := 0; i < n; i++ {
+			op := ops[rng.Intn(len(ops))]
+			switch strings.Count(op, "%d") {
+			case 2:
+				b.WriteString(strings.Replace(strings.Replace(op, "%d", itoa(rng.Intn(4)), 1), "%d", itoa(rng.Intn(1000)), 1))
+			case 1:
+				b.WriteString(strings.Replace(op, "%d", itoa(rng.Intn(4)), 1))
+			default:
+				b.WriteString(op)
+			}
+			b.WriteString("\n")
+		}
+		// Initialize r0..r3 up front so arithmetic verifies.
+		src := "ldi r0, 0\nldi r1, 0\nldi r2, 0\nldi r3, 0\n" + b.String() + "pass\n"
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return false
+		}
+		m := NewMachine(p)
+		v, cost := m.Run(udp(1, 2, 64), NopEnv{})
+		return (v == VerdictPass) && cost > 0 && cost <= len(p.Code)*8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

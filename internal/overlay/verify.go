@@ -1,0 +1,171 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verification errors.
+var (
+	ErrBackwardJump = errors.New("overlay: backward or self jump")
+	ErrFallOffEnd   = errors.New("overlay: control can fall off program end")
+	ErrUninitReg    = errors.New("overlay: register read before write")
+	ErrBadIndex     = errors.New("overlay: table/meter/counter index out of range")
+)
+
+// MaxProgramLen bounds program size, mirroring the instruction store of a
+// realistic overlay stage.
+const MaxProgramLen = 8192
+
+// Verify statically checks a program:
+//
+//   - length bound (MaxProgramLen)
+//   - all jump targets are strictly forward (so every run terminates in at
+//     most len(Code) steps — the overlay is deliberately not Turing-complete)
+//   - jump targets land inside the program or exactly at its end
+//   - table/meter/counter indices are declared
+//   - every register is definitely initialized before it is read, computed
+//     by forward dataflow (legal because control only flows forward)
+//   - control cannot fall off the end (the last reachable instruction on
+//     every path is pass/drop or a jump)
+//
+// Assemble runs Verify automatically; it is exported so hand-built programs
+// and fuzz tests can use it directly.
+func Verify(p *Program) error {
+	n := len(p.Code)
+	if n == 0 {
+		return errors.New("overlay: empty program")
+	}
+	if n > MaxProgramLen {
+		return fmt.Errorf("overlay: program too long: %d > %d", n, MaxProgramLen)
+	}
+
+	for i, in := range p.Code {
+		if in.Target >= 0 {
+			if in.Target <= i {
+				return fmt.Errorf("%w: inst %d -> %d", ErrBackwardJump, i, in.Target)
+			}
+			if in.Target > n {
+				return fmt.Errorf("overlay: jump target %d beyond end %d", in.Target, n)
+			}
+		}
+		switch in.Op {
+		case OpLookup, OpUpdate:
+			if in.Index < 0 || in.Index >= len(p.Tables) {
+				return fmt.Errorf("%w: table %d", ErrBadIndex, in.Index)
+			}
+		case OpMeter:
+			if in.Index < 0 || in.Index >= len(p.Meters) {
+				return fmt.Errorf("%w: meter %d", ErrBadIndex, in.Index)
+			}
+		case OpCount:
+			if in.Index < 0 || in.Index >= len(p.Counters) {
+				return fmt.Errorf("%w: counter %d", ErrBadIndex, in.Index)
+			}
+		case OpJmp, OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge:
+			if in.Target < 0 {
+				return fmt.Errorf("overlay: unresolved jump at inst %d", i)
+			}
+		}
+	}
+
+	// Forward dataflow for register initialization and reachability. Since
+	// jumps only go forward, one left-to-right pass with meet-at-target
+	// (intersection of initialized sets) is exact.
+	const unreached = ^uint32(0) // sentinel: no flow into this instruction yet
+	inSet := make([]uint32, n+1)
+	for i := range inSet {
+		inSet[i] = unreached
+	}
+	inSet[0] = 0 // entry: nothing initialized
+
+	merge := func(idx int, set uint32) {
+		if inSet[idx] == unreached {
+			inSet[idx] = set
+		} else {
+			inSet[idx] &= set
+		}
+	}
+
+	endReachable := false
+	for i := 0; i < n; i++ {
+		set := inSet[i]
+		if set == unreached {
+			continue // dead code is allowed but not analyzed
+		}
+		in := p.Code[i]
+
+		readReg := func(r uint8) error {
+			if set&(1<<r) == 0 {
+				return fmt.Errorf("%w: r%d at inst %d (%s)", ErrUninitReg, r, i, in.Op)
+			}
+			return nil
+		}
+
+		// Reads.
+		var err error
+		switch in.Op {
+		case OpMov:
+			err = readReg(in.B)
+		case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr:
+			err = readReg(in.A)
+			if err == nil && !in.Imm {
+				err = readReg(in.B)
+			}
+		case OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge:
+			err = readReg(in.A)
+			if err == nil && !in.Imm {
+				err = readReg(in.B)
+			}
+		case OpLookup:
+			err = readReg(in.B) // key
+		case OpUpdate:
+			err = readReg(in.A) // key
+			if err == nil {
+				err = readReg(in.B) // value
+			}
+		case OpMeter:
+			err = readReg(in.B) // length
+		case OpSetf:
+			err = readReg(in.B)
+		}
+		if err != nil {
+			return err
+		}
+
+		// Writes.
+		out := set
+		switch in.Op {
+		case OpLdf, OpLdi, OpMov, OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMeter, OpLookup:
+			out |= 1 << in.A
+		}
+
+		// Successors.
+		switch in.Op {
+		case OpPass, OpDrop:
+			// terminal: no successors
+		case OpJmp:
+			merge(in.Target, out)
+		case OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge:
+			merge(in.Target, out)
+			merge(i+1, out)
+		case OpLookup:
+			// Miss path: rD not written.
+			merge(in.Target, set)
+			merge(i+1, out)
+		default:
+			merge(i+1, out)
+		}
+		if i+1 == n && !in.Terminal() && in.Op != OpJmp {
+			endReachable = true
+		}
+	}
+	// A jump target exactly at n means "fall off end" too.
+	if inSet[n] != unreached {
+		endReachable = true
+	}
+	if endReachable {
+		return ErrFallOffEnd
+	}
+	return nil
+}

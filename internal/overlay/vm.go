@@ -1,0 +1,356 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// Runtime errors (verified programs cannot raise them except table capacity).
+var (
+	ErrTableFull = errors.New("overlay: table full")
+)
+
+// Env is what a program run may touch beyond the packet: the clock, the
+// capture tap and the notification sink. The NIC provides one per pipeline.
+type Env interface {
+	// Now returns the current virtual time.
+	Now() sim.Time
+	// Mirror delivers a copy of the packet to the capture tap.
+	Mirror(pkt *packet.Packet)
+	// Notify appends a notification for the packet's owning connection.
+	Notify(pkt *packet.Packet)
+}
+
+// NopEnv is an Env that discards mirrors and notifications; useful in tests
+// and for programs that use neither.
+type NopEnv struct{ Time sim.Time }
+
+// Now returns the fixed time carried by the env.
+func (e NopEnv) Now() sim.Time { return e.Time }
+
+// Mirror discards the packet copy.
+func (NopEnv) Mirror(*packet.Packet) {}
+
+// Notify discards the notification.
+func (NopEnv) Notify(*packet.Packet) {}
+
+// meterState is the runtime token bucket behind a MeterSpec.
+type meterState struct {
+	spec   MeterSpec
+	tokens float64
+	last   sim.Time
+}
+
+func (m *meterState) conforms(now sim.Time, bytes uint64) bool {
+	if now > m.last {
+		m.tokens += now.Sub(m.last).Seconds() * m.spec.Rate
+		if m.tokens > m.spec.Burst {
+			m.tokens = m.spec.Burst
+		}
+		m.last = now
+	}
+	if m.tokens >= float64(bytes) {
+		m.tokens -= float64(bytes)
+		return true
+	}
+	return false
+}
+
+// Machine is a loaded program plus its runtime state (table contents, meter
+// buckets, counters). One Machine corresponds to one occupied overlay slot
+// on the NIC; swapping programs replaces the Machine.
+type Machine struct {
+	prog     *Program
+	tables   []map[uint64]uint64
+	meters   []meterState
+	counters []uint64
+
+	runs   uint64
+	cycles uint64
+}
+
+// NewMachine instantiates runtime state for a verified program.
+func NewMachine(p *Program) *Machine {
+	m := &Machine{
+		prog:     p,
+		tables:   make([]map[uint64]uint64, len(p.Tables)),
+		meters:   make([]meterState, len(p.Meters)),
+		counters: make([]uint64, len(p.Counters)),
+	}
+	for i := range m.tables {
+		m.tables[i] = make(map[uint64]uint64, p.Tables[i].Capacity)
+	}
+	for i := range m.meters {
+		m.meters[i] = meterState{spec: p.Meters[i], tokens: p.Meters[i].Burst}
+	}
+	return m
+}
+
+// Program returns the loaded program.
+func (m *Machine) Program() *Program { return m.prog }
+
+// TableInsert populates a table from the control plane (how the kernel
+// injects firewall rules or connection state via MMIO, §4.4). It fails when
+// the declared capacity is exhausted — the resource-exhaustion experiment
+// depends on tables genuinely filling up.
+func (m *Machine) TableInsert(table string, key, val uint64) error {
+	idx := m.tableIndex(table)
+	if idx < 0 {
+		return fmt.Errorf("overlay: no table %q", table)
+	}
+	t := m.tables[idx]
+	if _, exists := t[key]; !exists && len(t) >= m.prog.Tables[idx].Capacity {
+		return fmt.Errorf("%w: %s (cap %d)", ErrTableFull, table, m.prog.Tables[idx].Capacity)
+	}
+	t[key] = val
+	return nil
+}
+
+// TableDelete removes a key; deleting an absent key is a no-op.
+func (m *Machine) TableDelete(table string, key uint64) error {
+	idx := m.tableIndex(table)
+	if idx < 0 {
+		return fmt.Errorf("overlay: no table %q", table)
+	}
+	delete(m.tables[idx], key)
+	return nil
+}
+
+// TableLen returns the number of entries in a table, or -1 if absent.
+func (m *Machine) TableLen(table string) int {
+	idx := m.tableIndex(table)
+	if idx < 0 {
+		return -1
+	}
+	return len(m.tables[idx])
+}
+
+// ShareTable makes this machine's table an alias of another machine's
+// table: both see the same entries. This models how ingress and egress
+// pipeline stages on a real SmartNIC reference the same SRAM block — the
+// mechanism a stateful firewall needs (outbound traffic inserts connection
+// state that inbound checks). The two declarations must have equal
+// capacity, since they model one physical table.
+func (m *Machine) ShareTable(name string, other *Machine, otherName string) error {
+	i := m.tableIndex(name)
+	j := other.tableIndex(otherName)
+	if i < 0 || j < 0 {
+		return fmt.Errorf("overlay: no such table %q/%q", name, otherName)
+	}
+	if m.prog.Tables[i].Capacity != other.prog.Tables[j].Capacity {
+		return fmt.Errorf("overlay: shared tables must have equal capacity (%d vs %d)",
+			m.prog.Tables[i].Capacity, other.prog.Tables[j].Capacity)
+	}
+	m.tables[i] = other.tables[j]
+	return nil
+}
+
+func (m *Machine) tableIndex(name string) int {
+	for i, t := range m.prog.Tables {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Counter returns a counter's value, or 0 if absent.
+func (m *Machine) Counter(name string) uint64 {
+	for i, c := range m.prog.Counters {
+		if c.Name == name {
+			return m.counters[i]
+		}
+	}
+	return 0
+}
+
+// Stats returns total runs and cycles executed.
+func (m *Machine) Stats() (runs, cycles uint64) { return m.runs, m.cycles }
+
+// loadField reads a packet/metadata field.
+func loadField(p *packet.Packet, f Field, now sim.Time) uint64 {
+	switch f {
+	case FSrcIP:
+		if p.IP != nil {
+			return uint64(p.IP.Src)
+		}
+	case FDstIP:
+		if p.IP != nil {
+			return uint64(p.IP.Dst)
+		}
+	case FSrcPort:
+		if p.UDP != nil {
+			return uint64(p.UDP.SrcPort)
+		}
+		if p.TCP != nil {
+			return uint64(p.TCP.SrcPort)
+		}
+	case FDstPort:
+		if p.UDP != nil {
+			return uint64(p.UDP.DstPort)
+		}
+		if p.TCP != nil {
+			return uint64(p.TCP.DstPort)
+		}
+	case FProto:
+		if p.IP != nil {
+			return uint64(p.IP.Proto)
+		}
+	case FLen:
+		return uint64(p.FrameLen())
+	case FEthType:
+		return uint64(p.Eth.Type)
+	case FARPOp:
+		if p.ARP != nil {
+			return uint64(p.ARP.Op)
+		}
+	case FTOS:
+		if p.IP != nil {
+			return uint64(p.IP.TOS)
+		}
+	case FTCPFlags:
+		if p.TCP != nil {
+			return uint64(p.TCP.Flags)
+		}
+	case FUID:
+		if p.Meta.TrustedMeta {
+			return uint64(p.Meta.UID)
+		}
+	case FPID:
+		if p.Meta.TrustedMeta {
+			return uint64(p.Meta.PID)
+		}
+	case FCmdID:
+		if p.Meta.TrustedMeta {
+			return uint64(p.Meta.CommandID)
+		}
+	case FConn:
+		return p.Meta.ConnID
+	case FMark:
+		return uint64(p.Meta.Mark)
+	case FClass:
+		return uint64(p.Meta.Class)
+	case FTimeNS:
+		return uint64(now) / 1000
+	}
+	return 0
+}
+
+// Run executes the program on a packet and returns the verdict and the cost
+// in overlay cycles. Verified programs always terminate; Run panics on
+// structurally impossible states, which indicates a verifier bug.
+func (m *Machine) Run(p *packet.Packet, env Env) (Verdict, int) {
+	var regs [NumRegs]uint64
+	cost := 0
+	now := env.Now()
+	pc := 0
+	code := m.prog.Code
+	for {
+		if pc >= len(code) {
+			panic("overlay: verified program fell off end")
+		}
+		in := code[pc]
+		cost += in.Cost()
+
+		operand := func() uint64 {
+			if in.Imm {
+				return in.Val
+			}
+			return regs[in.B]
+		}
+
+		switch in.Op {
+		case OpNop:
+		case OpLdf:
+			regs[in.A] = loadField(p, in.F, now)
+		case OpLdi:
+			regs[in.A] = in.Val
+		case OpMov:
+			regs[in.A] = regs[in.B]
+		case OpAdd:
+			regs[in.A] += operand()
+		case OpSub:
+			regs[in.A] -= operand()
+		case OpAnd:
+			regs[in.A] &= operand()
+		case OpOr:
+			regs[in.A] |= operand()
+		case OpXor:
+			regs[in.A] ^= operand()
+		case OpShl:
+			regs[in.A] <<= operand() & 63
+		case OpShr:
+			regs[in.A] >>= operand() & 63
+		case OpJmp:
+			pc = in.Target
+			continue
+		case OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge:
+			a, b := regs[in.A], operand()
+			take := false
+			switch in.Op {
+			case OpJeq:
+				take = a == b
+			case OpJne:
+				take = a != b
+			case OpJlt:
+				take = a < b
+			case OpJle:
+				take = a <= b
+			case OpJgt:
+				take = a > b
+			case OpJge:
+				take = a >= b
+			}
+			if take {
+				pc = in.Target
+				continue
+			}
+		case OpLookup:
+			v, ok := m.tables[in.Index][regs[in.B]]
+			if !ok {
+				pc = in.Target
+				continue
+			}
+			regs[in.A] = v
+		case OpUpdate:
+			t := m.tables[in.Index]
+			key := regs[in.A]
+			if _, exists := t[key]; exists || len(t) < m.prog.Tables[in.Index].Capacity {
+				t[key] = regs[in.B]
+			}
+			// A full table silently refuses dataplane inserts, as
+			// hardware match-action tables do.
+		case OpMeter:
+			if m.meters[in.Index].conforms(now, regs[in.B]) {
+				regs[in.A] = 1
+			} else {
+				regs[in.A] = 0
+			}
+		case OpSetf:
+			switch in.F {
+			case FMark:
+				p.Meta.Mark = uint32(regs[in.B])
+			case FClass:
+				p.Meta.Class = uint32(regs[in.B])
+			}
+		case OpCount:
+			m.counters[in.Index]++
+		case OpMirror:
+			env.Mirror(p)
+		case OpNotify:
+			env.Notify(p)
+		case OpPass:
+			m.runs++
+			m.cycles += uint64(cost)
+			return VerdictPass, cost
+		case OpDrop:
+			m.runs++
+			m.cycles += uint64(cost)
+			return VerdictDrop, cost
+		}
+		pc++
+	}
+}

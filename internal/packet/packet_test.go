@@ -1,0 +1,257 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPv4String(t *testing.T) {
+	ip := MakeIP(10, 1, 2, 3)
+	if ip.String() != "10.1.2.3" {
+		t.Fatalf("got %q", ip.String())
+	}
+}
+
+func TestInPrefix(t *testing.T) {
+	net := MakeIP(10, 0, 0, 0)
+	cases := []struct {
+		ip   IPv4
+		bits int
+		want bool
+	}{
+		{MakeIP(10, 1, 2, 3), 8, true},
+		{MakeIP(11, 1, 2, 3), 8, false},
+		{MakeIP(10, 0, 0, 0), 32, true},
+		{MakeIP(10, 0, 0, 1), 32, false},
+		{MakeIP(192, 168, 0, 1), 0, true}, // /0 matches everything
+	}
+	for _, c := range cases {
+		if got := c.ip.InPrefix(net, c.bits); got != c.want {
+			t.Errorf("%v in %v/%d = %v, want %v", c.ip, net, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestFrameLenMinimum(t *testing.T) {
+	p := NewUDP(MAC{}, MAC{}, 1, 2, 10, 20, 0)
+	if p.FrameLen() != 60 {
+		t.Fatalf("tiny frames pad to 60, got %d", p.FrameLen())
+	}
+	p = NewUDP(MAC{}, MAC{}, 1, 2, 10, 20, 1460)
+	if p.FrameLen() != 14+20+8+1460 {
+		t.Fatalf("FrameLen = %d", p.FrameLen())
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := FlowKey{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoUDP}
+	r := k.Reverse()
+	if r.Src != 2 || r.Dst != 1 || r.SrcPort != 20 || r.DstPort != 10 {
+		t.Fatalf("reverse = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse must be identity")
+	}
+}
+
+// Property: Reverse is an involution for arbitrary keys.
+func TestFlowKeyReverseQuick(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := FlowKey{Src: IPv4(src), Dst: IPv4(dst), SrcPort: sp, DstPort: dp, Proto: proto}
+		return k.Reverse().Reverse() == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPMarshalRoundTrip(t *testing.T) {
+	payload := []byte("hello, norman! this payload round-trips")
+	p := NewUDP(MAC{1, 2, 3, 4, 5, 6}, MAC{7, 8, 9, 10, 11, 12},
+		MakeIP(10, 0, 0, 1), MakeIP(10, 0, 0, 2), 4242, 7, len(payload))
+	p.Payload = payload
+
+	q, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q.UDP == nil || q.UDP.SrcPort != 4242 || q.UDP.DstPort != 7 {
+		t.Fatalf("ports lost: %+v", q.UDP)
+	}
+	if q.IP.Src != p.IP.Src || q.IP.Dst != p.IP.Dst {
+		t.Fatal("addresses lost")
+	}
+	if !bytes.Equal(q.Payload, payload) {
+		t.Fatalf("payload lost: %q", q.Payload)
+	}
+	if q.Eth.Src != p.Eth.Src || q.Eth.Dst != p.Eth.Dst {
+		t.Fatal("MACs lost")
+	}
+}
+
+func TestTCPMarshalRoundTrip(t *testing.T) {
+	p := NewTCP(MAC{1}, MAC{2}, MakeIP(1, 2, 3, 4), MakeIP(5, 6, 7, 8),
+		80, 54321, TCPSyn|TCPAck, 5)
+	p.TCP.Seq = 0xdeadbeef
+	p.TCP.Ack = 0xfeedface
+	p.Payload = []byte{1, 2, 3, 4, 5}
+	p.IP.TotalLen = uint16(20 + 20 + 5)
+
+	q, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q.TCP == nil || q.TCP.Seq != 0xdeadbeef || q.TCP.Ack != 0xfeedface {
+		t.Fatalf("tcp fields lost: %+v", q.TCP)
+	}
+	if q.TCP.Flags != TCPSyn|TCPAck {
+		t.Fatalf("flags = %x", q.TCP.Flags)
+	}
+}
+
+func TestARPMarshalRoundTrip(t *testing.T) {
+	p := NewARPRequest(MAC{0xaa}, MakeIP(10, 0, 0, 1), MakeIP(10, 0, 0, 9))
+	q, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q.ARP == nil || q.ARP.Op != ARPRequest {
+		t.Fatalf("arp lost: %+v", q.ARP)
+	}
+	if q.ARP.TargetIP != MakeIP(10, 0, 0, 9) || q.ARP.SenderIP != MakeIP(10, 0, 0, 1) {
+		t.Fatal("arp addresses lost")
+	}
+	if !q.Eth.Dst.IsBroadcast() {
+		t.Fatal("arp request should be broadcast")
+	}
+}
+
+func TestUnmarshalDetectsCorruption(t *testing.T) {
+	p := NewUDP(MAC{}, MAC{}, 1, 2, 3, 4, 32)
+	p.Payload = bytes.Repeat([]byte{0x5a}, 32)
+	wire := p.Marshal()
+
+	// Flip a payload byte: the UDP checksum must catch it.
+	wire[len(wire)-1] ^= 0xff
+	if _, err := Unmarshal(wire); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("want checksum error, got %v", err)
+	}
+
+	// Truncation.
+	if _, err := Unmarshal(wire[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want truncated, got %v", err)
+	}
+}
+
+// Property: any UDP packet with a random payload survives a marshal
+// round-trip bit-exactly.
+func TestMarshalRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(src, dst uint32, sp, dp uint16, n uint8) bool {
+		payload := make([]byte, int(n))
+		rng.Read(payload)
+		p := NewUDP(MAC{1}, MAC{2}, IPv4(src), IPv4(dst), sp, dp, len(payload))
+		p.Payload = payload
+		q, err := Unmarshal(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return q.UDP.SrcPort == sp && q.UDP.DstPort == dp &&
+			q.IP.Src == IPv4(src) && q.IP.Dst == IPv4(dst) &&
+			bytes.Equal(q.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewUDP(MAC{}, MAC{}, 1, 2, 3, 4, 4)
+	p.Payload = []byte{1, 2, 3, 4}
+	p.Meta.UID = 42
+	q := p.Clone()
+	q.IP.Src = 99
+	q.UDP.SrcPort = 999
+	q.Payload[0] = 0xff
+	q.Meta.UID = 7
+	if p.IP.Src != 1 || p.UDP.SrcPort != 3 || p.Payload[0] != 1 || p.Meta.UID != 42 {
+		t.Fatal("clone mutated the original")
+	}
+}
+
+func TestFlowExtraction(t *testing.T) {
+	p := NewUDP(MAC{}, MAC{}, 1, 2, 3, 4, 0)
+	k, ok := p.Flow()
+	if !ok || k.SrcPort != 3 || k.Proto != ProtoUDP {
+		t.Fatalf("udp flow: %v %v", k, ok)
+	}
+	arp := NewARPRequest(MAC{}, 1, 2)
+	if _, ok := arp.Flow(); ok {
+		t.Fatal("arp has no transport flow")
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary bytes — it either parses or
+// returns an error.
+func TestUnmarshalNeverPanicsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n uint16, seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		b := make([]byte, int(n%512))
+		rng.Read(b)
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: corrupting any single byte of a valid frame is either detected
+// (error) or harmless to structure (parses); never a panic.
+func TestUnmarshalBitflipQuick(t *testing.T) {
+	p := NewUDP(MAC{1}, MAC{2}, MakeIP(10, 0, 0, 1), MakeIP(10, 0, 0, 2), 999, 53, 64)
+	p.Payload = bytes.Repeat([]byte{0xab}, 64)
+	wire := p.Marshal()
+	f := func(pos uint16, val uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		b := append([]byte(nil), wire...)
+		b[int(pos)%len(b)] ^= val | 1
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	req := NewICMPEcho(MAC{1}, MAC{2}, MakeIP(10, 0, 0, 1), MakeIP(10, 0, 0, 2),
+		ICMPEchoRequest, 42, 7, 16)
+	req.Payload = bytes.Repeat([]byte{0x11}, 16)
+	q, err := Unmarshal(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ICMP == nil || q.ICMP.Type != ICMPEchoRequest || q.ICMP.ID != 42 || q.ICMP.Seq != 7 {
+		t.Fatalf("icmp lost: %+v", q.ICMP)
+	}
+	reply := EchoReplyTo(req)
+	if reply.ICMP.Type != ICMPEchoReply || reply.IP.Dst != req.IP.Src || reply.ICMP.ID != 42 {
+		t.Fatalf("reply: %+v %v", reply.ICMP, reply.IP)
+	}
+	if !req.IsEchoRequestTo(MakeIP(10, 0, 0, 2)) || req.IsEchoRequestTo(MakeIP(10, 0, 0, 3)) {
+		t.Fatal("IsEchoRequestTo")
+	}
+}

@@ -1,0 +1,279 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire-format errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated frame")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+)
+
+// Marshal serializes the packet to its wire format. Payload bytes are taken
+// from Payload when present, otherwise PayloadLen zero bytes are emitted.
+// IPv4 and transport checksums are computed. Frames shorter than the 60-byte
+// Ethernet minimum are padded.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, p.FrameLen())
+	buf = append(buf, p.Eth.Dst[:]...)
+	buf = append(buf, p.Eth.Src[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, p.Eth.Type)
+
+	switch {
+	case p.ARP != nil:
+		buf = binary.BigEndian.AppendUint16(buf, 1) // hw type: Ethernet
+		buf = binary.BigEndian.AppendUint16(buf, EtherTypeIPv4)
+		buf = append(buf, 6, 4) // hw len, proto len
+		buf = binary.BigEndian.AppendUint16(buf, p.ARP.Op)
+		buf = append(buf, p.ARP.SenderHW[:]...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p.ARP.SenderIP))
+		buf = append(buf, p.ARP.TargetHW[:]...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p.ARP.TargetIP))
+
+	case p.IP != nil:
+		payload := p.Payload
+		if payload == nil && p.PayloadLen > 0 {
+			payload = make([]byte, p.PayloadLen)
+		}
+		// Wire lengths are computed from the actual contents: header
+		// fields such as TotalLen may be stale when callers resize the
+		// payload after construction.
+		transport := 0
+		switch {
+		case p.UDP != nil:
+			transport = 8
+		case p.TCP != nil:
+			transport = 20
+		case p.ICMP != nil:
+			transport = 8
+		}
+		totalLen := uint16(20 + transport + len(payload))
+
+		hdr := make([]byte, 20)
+		hdr[0] = 0x45 // version 4, IHL 5
+		hdr[1] = p.IP.TOS
+		binary.BigEndian.PutUint16(hdr[2:], totalLen)
+		binary.BigEndian.PutUint16(hdr[4:], p.IP.ID)
+		hdr[8] = p.IP.TTL
+		hdr[9] = p.IP.Proto
+		binary.BigEndian.PutUint32(hdr[12:], uint32(p.IP.Src))
+		binary.BigEndian.PutUint32(hdr[16:], uint32(p.IP.Dst))
+		binary.BigEndian.PutUint16(hdr[10:], checksum(hdr))
+		buf = append(buf, hdr...)
+
+		switch {
+		case p.UDP != nil:
+			th := make([]byte, 8)
+			binary.BigEndian.PutUint16(th[0:], p.UDP.SrcPort)
+			binary.BigEndian.PutUint16(th[2:], p.UDP.DstPort)
+			binary.BigEndian.PutUint16(th[4:], uint16(8+len(payload)))
+			binary.BigEndian.PutUint16(th[6:], transportChecksum(p.IP, th, payload))
+			buf = append(buf, th...)
+			buf = append(buf, payload...)
+		case p.TCP != nil:
+			th := make([]byte, 20)
+			binary.BigEndian.PutUint16(th[0:], p.TCP.SrcPort)
+			binary.BigEndian.PutUint16(th[2:], p.TCP.DstPort)
+			binary.BigEndian.PutUint32(th[4:], p.TCP.Seq)
+			binary.BigEndian.PutUint32(th[8:], p.TCP.Ack)
+			th[12] = 5 << 4 // data offset
+			th[13] = p.TCP.Flags
+			binary.BigEndian.PutUint16(th[14:], p.TCP.Window)
+			binary.BigEndian.PutUint16(th[16:], transportChecksum(p.IP, th, payload))
+			buf = append(buf, th...)
+			buf = append(buf, payload...)
+		case p.ICMP != nil:
+			th := make([]byte, 8)
+			th[0] = p.ICMP.Type
+			th[1] = p.ICMP.Code
+			binary.BigEndian.PutUint16(th[4:], p.ICMP.ID)
+			binary.BigEndian.PutUint16(th[6:], p.ICMP.Seq)
+			// ICMP checksum covers header+payload, no pseudo-header.
+			sum := append(append([]byte(nil), th...), payload...)
+			binary.BigEndian.PutUint16(th[2:], checksum(sum))
+			buf = append(buf, th...)
+			buf = append(buf, payload...)
+		default:
+			buf = append(buf, payload...)
+		}
+
+	default:
+		if p.Payload != nil {
+			buf = append(buf, p.Payload...)
+		} else if p.PayloadLen > 0 {
+			buf = append(buf, make([]byte, p.PayloadLen)...)
+		}
+	}
+
+	for len(buf) < 60 {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// Unmarshal parses a wire-format frame into a Packet. Checksums are
+// verified; padding beyond the declared IP total length is ignored.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < 14 {
+		return nil, ErrTruncated
+	}
+	p := &Packet{}
+	copy(p.Eth.Dst[:], b[0:6])
+	copy(p.Eth.Src[:], b[6:12])
+	p.Eth.Type = binary.BigEndian.Uint16(b[12:14])
+	rest := b[14:]
+
+	switch p.Eth.Type {
+	case EtherTypeARP:
+		if len(rest) < 28 {
+			return nil, ErrTruncated
+		}
+		a := &ARP{Op: binary.BigEndian.Uint16(rest[6:8])}
+		copy(a.SenderHW[:], rest[8:14])
+		a.SenderIP = IPv4(binary.BigEndian.Uint32(rest[14:18]))
+		copy(a.TargetHW[:], rest[18:24])
+		a.TargetIP = IPv4(binary.BigEndian.Uint32(rest[24:28]))
+		p.ARP = a
+		return p, nil
+
+	case EtherTypeIPv4:
+		if len(rest) < 20 {
+			return nil, ErrTruncated
+		}
+		if rest[0]>>4 != 4 {
+			return nil, fmt.Errorf("packet: bad IP version %d", rest[0]>>4)
+		}
+		ihl := int(rest[0]&0x0f) * 4
+		if ihl < 20 || len(rest) < ihl {
+			return nil, ErrTruncated
+		}
+		if checksum(rest[:ihl]) != 0 {
+			return nil, fmt.Errorf("%w (ipv4)", ErrBadChecksum)
+		}
+		ip := &IP{
+			TOS:      rest[1],
+			TotalLen: binary.BigEndian.Uint16(rest[2:4]),
+			ID:       binary.BigEndian.Uint16(rest[4:6]),
+			TTL:      rest[8],
+			Proto:    rest[9],
+			Src:      IPv4(binary.BigEndian.Uint32(rest[12:16])),
+			Dst:      IPv4(binary.BigEndian.Uint32(rest[16:20])),
+		}
+		p.IP = ip
+		if int(ip.TotalLen) > len(rest) {
+			return nil, ErrTruncated
+		}
+		body := rest[ihl:ip.TotalLen]
+
+		switch ip.Proto {
+		case ProtoUDP:
+			if len(body) < 8 {
+				return nil, ErrTruncated
+			}
+			u := &UDP{
+				SrcPort: binary.BigEndian.Uint16(body[0:2]),
+				DstPort: binary.BigEndian.Uint16(body[2:4]),
+				Len:     binary.BigEndian.Uint16(body[4:6]),
+			}
+			if transportChecksum(ip, body[:8], body[8:]) != 0 {
+				return nil, fmt.Errorf("%w (udp)", ErrBadChecksum)
+			}
+			p.UDP = u
+			p.Payload = append([]byte(nil), body[8:]...)
+			p.PayloadLen = len(p.Payload)
+		case ProtoTCP:
+			if len(body) < 20 {
+				return nil, ErrTruncated
+			}
+			off := int(body[12]>>4) * 4
+			if off < 20 || len(body) < off {
+				return nil, ErrTruncated
+			}
+			t := &TCP{
+				SrcPort: binary.BigEndian.Uint16(body[0:2]),
+				DstPort: binary.BigEndian.Uint16(body[2:4]),
+				Seq:     binary.BigEndian.Uint32(body[4:8]),
+				Ack:     binary.BigEndian.Uint32(body[8:12]),
+				Flags:   body[13],
+				Window:  binary.BigEndian.Uint16(body[14:16]),
+			}
+			if transportChecksum(ip, body[:off], body[off:]) != 0 {
+				return nil, fmt.Errorf("%w (tcp)", ErrBadChecksum)
+			}
+			p.TCP = t
+			p.Payload = append([]byte(nil), body[off:]...)
+			p.PayloadLen = len(p.Payload)
+		case ProtoICMP:
+			if len(body) < 8 {
+				return nil, ErrTruncated
+			}
+			if checksum(body) != 0 {
+				return nil, fmt.Errorf("%w (icmp)", ErrBadChecksum)
+			}
+			p.ICMP = &ICMP{
+				Type: body[0],
+				Code: body[1],
+				ID:   binary.BigEndian.Uint16(body[4:6]),
+				Seq:  binary.BigEndian.Uint16(body[6:8]),
+			}
+			p.Payload = append([]byte(nil), body[8:]...)
+			p.PayloadLen = len(p.Payload)
+		default:
+			p.Payload = append([]byte(nil), body...)
+			p.PayloadLen = len(p.Payload)
+		}
+		return p, nil
+
+	default:
+		p.Payload = append([]byte(nil), rest...)
+		p.PayloadLen = len(p.Payload)
+		return p, nil
+	}
+}
+
+// checksum computes the RFC 1071 ones-complement sum over b. A buffer that
+// embeds a correct checksum field sums to zero.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// transportChecksum computes the UDP/TCP checksum including the IPv4
+// pseudo-header. The checksum field inside hdr must be zero when computing
+// and the stored value when verifying (verification yields 0).
+func transportChecksum(ip *IP, hdr, payload []byte) uint16 {
+	pseudo := make([]byte, 12)
+	binary.BigEndian.PutUint32(pseudo[0:], uint32(ip.Src))
+	binary.BigEndian.PutUint32(pseudo[4:], uint32(ip.Dst))
+	pseudo[9] = ip.Proto
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(hdr)+len(payload)))
+
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	add(pseudo)
+	add(hdr)
+	add(payload)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

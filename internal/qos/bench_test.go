@@ -1,0 +1,31 @@
+package qos
+
+import "testing"
+
+// BenchmarkWFQEnqueueDequeue measures the scheduler hot path with four
+// active classes.
+func BenchmarkWFQEnqueueDequeue(b *testing.B) {
+	q := NewWFQ(4096)
+	for c := uint32(0); c < 4; c++ {
+		q.SetWeight(c, float64(c+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(pkt(uint32(i%4), 958), 0)
+		if i%2 == 1 {
+			q.Dequeue(0)
+		}
+	}
+}
+
+// BenchmarkDRREnqueueDequeue is the O(1) counterpart.
+func BenchmarkDRREnqueueDequeue(b *testing.B) {
+	q := NewDRR(4096, 1514)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(pkt(uint32(i%4), 958), 0)
+		if i%2 == 1 {
+			q.Dequeue(0)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+func pkt(class uint32, payload int) *packet.Packet {
+	p := packet.NewUDP(packet.MAC{}, packet.MAC{}, 1, 2, 3, 4, payload)
+	p.Meta.Class = class
+	return p
+}
+
+func TestPFIFOOrderAndLimit(t *testing.T) {
+	q := NewPFIFO(2)
+	if !q.Enqueue(pkt(0, 1), 0) || !q.Enqueue(pkt(0, 2), 0) {
+		t.Fatal("enqueue under limit must succeed")
+	}
+	if q.Enqueue(pkt(0, 3), 0) {
+		t.Fatal("over limit must drop")
+	}
+	a, _ := q.Dequeue(0)
+	b, _ := q.Dequeue(0)
+	if a.PayloadLen != 1 || b.PayloadLen != 2 {
+		t.Fatal("FIFO order violated")
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("empty dequeue")
+	}
+	if s := q.Stats(); s.DropPackets != 1 || s.EnqPackets != 2 || s.DeqPackets != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestPrioStrictness(t *testing.T) {
+	q := NewPrio(3, 10)
+	q.Enqueue(pkt(2, 1), 0)
+	q.Enqueue(pkt(0, 2), 0)
+	q.Enqueue(pkt(1, 3), 0)
+	order := []int{}
+	for {
+		p, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		order = append(order, int(p.Meta.Class))
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("priority order: %v", order)
+	}
+}
+
+func TestPrioClassClamping(t *testing.T) {
+	q := NewPrio(2, 10)
+	q.Enqueue(pkt(9, 1), 0) // clamps to last band
+	if p, ok := q.Dequeue(0); !ok || p.Meta.Class != 9 {
+		t.Fatal("clamped class should still be served")
+	}
+}
+
+func TestTBFRateLimiting(t *testing.T) {
+	// 1 MB/s, burst exactly one 60B frame.
+	q := NewTBF(NewPFIFO(100), 1e6, 1514)
+	for i := 0; i < 50; i++ {
+		q.Enqueue(pkt(0, 18), 0) // 60B frames
+	}
+	// At t=0 the bucket holds 1514 bytes: 25 frames of 60B fit.
+	sent := 0
+	for {
+		if _, ok := q.Dequeue(0); !ok {
+			break
+		}
+		sent++
+	}
+	if sent != 25 {
+		t.Fatalf("burst allowed %d frames, want 25", sent)
+	}
+	// ReadyAt predicts when the next frame's tokens accrue: after 25
+	// frames, 14 tokens remain, so 46 more bytes at 1MB/s = 46µs.
+	at, ok := q.ReadyAt(0)
+	if !ok {
+		t.Fatal("queue is non-empty")
+	}
+	if d := sim.Duration(at); d < 44*sim.Microsecond || d > 48*sim.Microsecond {
+		t.Fatalf("ReadyAt = %v, want ≈46µs", d)
+	}
+	if _, ok := q.Dequeue(at); !ok {
+		t.Fatal("tokens should have accrued by the predicted time")
+	}
+}
+
+func TestTBFLongRunRate(t *testing.T) {
+	q := NewTBF(NewPFIFO(10000), 1e6, 1514) // 1 MB/s
+	for i := 0; i < 5000; i++ {
+		q.Enqueue(pkt(0, 940), 0) // 1000B frames (per FrameLen: 42+940=982 -> use payload 958)
+	}
+	var bytes uint64
+	for tick := sim.Time(0); tick < sim.Time(sim.Second); tick += sim.Time(100 * sim.Microsecond) {
+		for {
+			p, ok := q.Dequeue(tick)
+			if !ok {
+				break
+			}
+			bytes += uint64(p.FrameLen())
+		}
+	}
+	// One simulated second at 1 MB/s, ±12% (bucket quantization).
+	if bytes < 880_000 || bytes > 1_120_000 {
+		t.Fatalf("shaped to %d bytes/s, want ≈1MB/s", bytes)
+	}
+}
+
+func TestWFQProportionalService(t *testing.T) {
+	q := NewWFQ(4096)
+	q.SetWeight(1, 5)
+	q.SetWeight(2, 1)
+	for i := 0; i < 600; i++ {
+		q.Enqueue(pkt(1, 958), 0)
+		q.Enqueue(pkt(2, 958), 0)
+	}
+	counts := map[uint32]int{}
+	for i := 0; i < 600; i++ {
+		p, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		counts[p.Meta.Class]++
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 4.5 || ratio > 5.5 {
+		t.Fatalf("service ratio = %.2f (%v), want ≈5", ratio, counts)
+	}
+}
+
+func TestWFQWorkConserving(t *testing.T) {
+	q := NewWFQ(1024)
+	q.SetWeight(1, 10)
+	q.SetWeight(2, 1)
+	// Only the light class has traffic: it gets full service.
+	for i := 0; i < 10; i++ {
+		q.Enqueue(pkt(2, 100), 0)
+	}
+	served := 0
+	for {
+		if _, ok := q.Dequeue(0); !ok {
+			break
+		}
+		served++
+	}
+	if served != 10 {
+		t.Fatalf("work conservation violated: %d/10", served)
+	}
+}
+
+func TestWFQPerClassBufferBound(t *testing.T) {
+	q := NewWFQ(100)
+	q.SetWeight(1, 1)
+	q.SetWeight(2, 1)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(pkt(1, 10), 0)
+	}
+	if got := q.ClassStats(1).DropPackets; got == 0 {
+		t.Fatal("one class must not monopolize the buffer")
+	}
+	if !q.Enqueue(pkt(2, 10), 0) {
+		t.Fatal("the other class must still have room")
+	}
+}
+
+func TestDRRQuantumRatio(t *testing.T) {
+	q := NewDRR(4096, 1000)
+	q.SetQuantum(1, 3000)
+	q.SetQuantum(2, 1000)
+	for i := 0; i < 500; i++ {
+		q.Enqueue(pkt(1, 958), 0)
+		q.Enqueue(pkt(2, 958), 0)
+	}
+	counts := map[uint32]int{}
+	for i := 0; i < 400; i++ {
+		p, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		counts[p.Meta.Class]++
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("DRR ratio = %.2f (%v), want ≈3", ratio, counts)
+	}
+}
+
+func TestPrioWithShapedBand(t *testing.T) {
+	// Band 1 shaped to ~1 frame per 100µs; band 0 unshaped.
+	q := NewPrioWith(
+		NewPFIFO(100),
+		NewTBF(NewPFIFO(100), 10e6, 1514),
+	)
+	q.Enqueue(pkt(1, 958), 0)
+	q.Enqueue(pkt(1, 958), 0)
+	if _, ok := q.Dequeue(0); !ok {
+		t.Fatal("first shaped frame fits the burst")
+	}
+	// Second shaped frame must wait; ReadyAt reflects the deferral.
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("second frame should be deferred by the band shaper")
+	}
+	at, ok := q.ReadyAt(0)
+	if !ok || at == 0 {
+		t.Fatalf("ReadyAt should defer: %v %v", at, ok)
+	}
+	// Traffic in band 0 is ready immediately regardless.
+	q.Enqueue(pkt(0, 100), 0)
+	if at, ok := q.ReadyAt(0); !ok || at != 0 {
+		t.Fatalf("unshaped band must be ready now: %v %v", at, ok)
+	}
+}
+
+// Property: packets are conserved — everything enqueued is either still
+// queued, dequeued, or was counted as a drop.
+func TestConservationQuick(t *testing.T) {
+	mk := func(kind int) Qdisc {
+		switch kind % 4 {
+		case 0:
+			return NewPFIFO(32)
+		case 1:
+			return NewPrio(3, 16)
+		case 2:
+			wf := NewWFQ(32)
+			wf.SetWeight(0, 2)
+			wf.SetWeight(1, 1)
+			return wf
+		default:
+			return NewDRR(32, 1514)
+		}
+	}
+	f := func(kind int, ops []bool, classes []uint8) bool {
+		q := mk(kind)
+		enq, deq, drop := 0, 0, 0
+		for i, push := range ops {
+			if push {
+				class := uint32(0)
+				if i < len(classes) {
+					class = uint32(classes[i] % 3)
+				}
+				if q.Enqueue(pkt(class, 64), 0) {
+					enq++
+				} else {
+					drop++
+				}
+			} else if _, ok := q.Dequeue(0); ok {
+				deq++
+			}
+		}
+		return q.Len() == enq-deq && drop >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package qos
+
+import (
+	"container/heap"
+
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// WFQ implements weighted fair queueing (Demers, Keshav, Shenker '89 — the
+// paper's reference [10] for work-conserving shaping). Each class holds a
+// FIFO of packets tagged with virtual finish times; dequeue serves the
+// smallest finish tag, so long-run service is proportional to class weight
+// while remaining work-conserving: idle classes donate bandwidth.
+type WFQ struct {
+	classes       map[uint32]*wfqClass
+	defaultWeight float64
+	limit         int
+	vtime         float64 // global virtual time
+	heapq         wfqHeap
+	nitems        int
+	seq           uint64
+	stats         Stats
+	perClass      map[uint32]*Stats
+}
+
+type wfqClass struct {
+	id     uint32
+	weight float64
+	finish float64 // finish tag of the last enqueued packet
+	queued int     // current backlog, for per-class buffer fairness
+}
+
+type wfqItem struct {
+	p      *packet.Packet
+	finish float64
+	seq    uint64 // FIFO tie-break
+	class  uint32
+}
+
+type wfqHeap []wfqItem
+
+func (h wfqHeap) Len() int { return len(h) }
+func (h wfqHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wfqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wfqHeap) Push(x interface{}) { *h = append(*h, x.(wfqItem)) }
+func (h *wfqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1].p = nil
+	*h = old[:n-1]
+	return it
+}
+
+// NewWFQ creates a WFQ qdisc bounded to limit total packets. Classes not
+// configured with SetWeight get weight 1.
+func NewWFQ(limit int) *WFQ {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &WFQ{
+		classes:       make(map[uint32]*wfqClass),
+		perClass:      make(map[uint32]*Stats),
+		defaultWeight: 1,
+		limit:         limit,
+	}
+}
+
+// SetWeight configures a class's weight. Weights are relative; non-positive
+// weights are clamped to a tiny positive value so the class still drains.
+func (q *WFQ) SetWeight(class uint32, weight float64) {
+	if weight <= 0 {
+		weight = 1e-6
+	}
+	c := q.class(class)
+	c.weight = weight
+}
+
+func (q *WFQ) class(id uint32) *wfqClass {
+	c, ok := q.classes[id]
+	if !ok {
+		c = &wfqClass{id: id, weight: q.defaultWeight}
+		q.classes[id] = c
+	}
+	return c
+}
+
+func (q *WFQ) classStats(id uint32) *Stats {
+	s, ok := q.perClass[id]
+	if !ok {
+		s = &Stats{}
+		q.perClass[id] = s
+	}
+	return s
+}
+
+// Name implements Qdisc.
+func (q *WFQ) Name() string { return "wfq" }
+
+// Enqueue tags the packet with a virtual finish time and inserts it. The
+// buffer is shared, but no class may occupy more than its per-class share —
+// without that bound a slow class monopolizes the buffer under overload and
+// tail drops erase the weight differentiation (real qdiscs drop from the
+// longest queue for the same reason).
+func (q *WFQ) Enqueue(p *packet.Packet, _ sim.Time) bool {
+	c := q.class(p.Meta.Class)
+	perClass := q.limit / len(q.classes)
+	if perClass < 1 {
+		perClass = 1
+	}
+	if q.nitems >= q.limit || c.queued >= perClass {
+		q.stats.DropPackets++
+		q.classStats(p.Meta.Class).DropPackets++
+		return false
+	}
+	start := q.vtime
+	if c.finish > start {
+		start = c.finish
+	}
+	c.finish = start + float64(p.FrameLen())/c.weight
+	q.seq++
+	heap.Push(&q.heapq, wfqItem{p: p, finish: c.finish, seq: q.seq, class: c.id})
+	q.nitems++
+	c.queued++
+	q.stats.EnqPackets++
+	q.stats.EnqBytes += uint64(p.FrameLen())
+	cs := q.classStats(c.id)
+	cs.EnqPackets++
+	cs.EnqBytes += uint64(p.FrameLen())
+	return true
+}
+
+// Dequeue serves the packet with the smallest finish tag and advances
+// virtual time to it.
+func (q *WFQ) Dequeue(_ sim.Time) (*packet.Packet, bool) {
+	if q.nitems == 0 {
+		return nil, false
+	}
+	it := heap.Pop(&q.heapq).(wfqItem)
+	q.nitems--
+	q.class(it.class).queued--
+	if it.finish > q.vtime {
+		q.vtime = it.finish
+	}
+	q.stats.DeqPackets++
+	q.stats.DeqBytes += uint64(it.p.FrameLen())
+	cs := q.classStats(it.class)
+	cs.DeqPackets++
+	cs.DeqBytes += uint64(it.p.FrameLen())
+	return it.p, true
+}
+
+// ReadyAt implements Qdisc: WFQ is work-conserving.
+func (q *WFQ) ReadyAt(now sim.Time) (sim.Time, bool) {
+	if q.nitems == 0 {
+		return 0, false
+	}
+	return now, true
+}
+
+// Len implements Qdisc.
+func (q *WFQ) Len() int { return q.nitems }
+
+// Stats returns aggregate counters.
+func (q *WFQ) Stats() Stats { return q.stats }
+
+// ClassStats returns counters for one class.
+func (q *WFQ) ClassStats(class uint32) Stats {
+	if s, ok := q.perClass[class]; ok {
+		return *s
+	}
+	return Stats{}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventThroughput measures raw event dispatch rate — the
+// budget everything else in the simulation spends from.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine()
+	var fire func()
+	n := 0
+	fire = func() {
+		n++
+		if n < b.N {
+			e.After(Nanosecond, fire)
+		}
+	}
+	b.ResetTimer()
+	e.At(0, fire)
+	e.Run()
+}
+
+// BenchmarkEngineHeapChurn stresses out-of-order scheduling.
+func BenchmarkEngineHeapChurn(b *testing.B) {
+	e := NewEngine()
+	g := NewRNG(1, "bench")
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now().Add(Duration(g.Intn(1000))*Nanosecond), func() {})
+		if i%64 == 63 {
+			for j := 0; j < 32; j++ {
+				e.Step()
+			}
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkServerAcquire measures the FIFO-resource hot path.
+func BenchmarkServerAcquire(b *testing.B) {
+	s := NewServer("bench")
+	for i := 0; i < b.N; i++ {
+		s.Acquire(Time(i), 10*Nanosecond)
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// An event is a callback scheduled at a point in virtual time. Events at the
+// same instant fire in scheduling order (seq breaks ties), which keeps runs
+// deterministic regardless of heap internals.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// Engines are not safe for concurrent use; all model code runs inside event
+// callbacks on the goroutine that calls Run or Step.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	nFired  uint64
+}
+
+// NewEngine returns an engine positioned at the simulation epoch.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (useful as a progress
+// and runaway-detection metric in tests).
+func (e *Engine) Fired() uint64 { return e.nFired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// a causality violation is always a model bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued; a subsequent Run continues from where it stopped.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and reports whether one
+// existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.nFired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called, and returns
+// the final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps not after deadline. The clock is
+// left at min(deadline, time of last event). Events scheduled beyond the
+// deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,216 @@
+package sniff
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+func udp(src, dst packet.IPv4, sport, dport uint16) *packet.Packet {
+	return packet.NewUDP(packet.MAC{1}, packet.MAC{2}, src, dst, sport, dport, 32)
+}
+
+func TestExprPrimitives(t *testing.T) {
+	p := udp(packet.MakeIP(10, 0, 0, 1), packet.MakeIP(10, 0, 0, 2), 4000, 53)
+	arp := packet.NewARPRequest(packet.MAC{}, packet.MakeIP(10, 0, 0, 1), packet.MakeIP(10, 0, 0, 9))
+
+	cases := []struct {
+		expr string
+		pkt  *packet.Packet
+		want bool
+	}{
+		{"", p, true},
+		{"udp", p, true},
+		{"tcp", p, false},
+		{"arp", arp, true},
+		{"arp", p, false},
+		{"ip", p, true},
+		{"host 10.0.0.1", p, true},
+		{"host 10.0.0.3", p, false},
+		{"src host 10.0.0.1", p, true},
+		{"dst host 10.0.0.1", p, false},
+		{"net 10.0.0.0/8", p, true},
+		{"net 11.0.0.0/8", p, false},
+		{"port 53", p, true},
+		{"dst port 53", p, true},
+		{"src port 53", p, false},
+		{"portrange 50-60", p, true},
+		{"portrange 60-70", p, false},
+		{"greater 60", p, true},
+		{"less 60", p, false},
+		{"udp and port 53", p, true},
+		{"udp and port 54", p, false},
+		{"tcp or port 53", p, true},
+		{"not tcp", p, true},
+		{"not ( udp and port 53 )", p, false},
+		{"host 10.0.0.1 and ( tcp or udp )", p, true},
+		// ARP addresses are visible to host/net primitives.
+		{"host 10.0.0.9", arp, true},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.expr)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.expr, err)
+		}
+		if got := e.Match(c.pkt); got != c.want {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestExprProcessView(t *testing.T) {
+	p := udp(1, 2, 3, 4)
+	p.Meta.UID = 1001
+	p.Meta.PID = 77
+	p.Meta.Command = "postgres"
+
+	e := MustParse("uid 1001")
+	if !e.RequiresProcessView() {
+		t.Fatal("uid expressions need a process view")
+	}
+	if e.Match(p) {
+		t.Fatal("untrusted metadata must not match")
+	}
+	p.Meta.TrustedMeta = true
+	if !e.Match(p) {
+		t.Fatal("trusted uid should match")
+	}
+	if !MustParse("cmd postgres").Match(p) {
+		t.Fatal("cmd should match")
+	}
+	if !MustParse("pid 77").Match(p) {
+		t.Fatal("pid should match")
+	}
+	if MustParse("udp and port 4").RequiresProcessView() {
+		t.Fatal("plain expressions do not need a process view")
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	for _, bad := range []string{
+		"frobnicate", "port", "host 1.2.3", "net 10.0.0.0",
+		"portrange 10", "( udp", "udp and", "src banana 1",
+		"uid abc", "port 53 extra stuff",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q should fail to parse", bad)
+		}
+	}
+}
+
+func TestTapFilterAndEviction(t *testing.T) {
+	tap := NewTap(MustParse("port 53"), 3)
+	for i := 0; i < 5; i++ {
+		tap.Offer(udp(1, 2, uint16(1000+i), 53), sim.Time(i))
+	}
+	tap.Offer(udp(1, 2, 9, 99), 10) // filtered out
+	seen, matched, evicted := tap.Counters()
+	if seen != 6 || matched != 5 || evicted != 2 {
+		t.Fatalf("counters: %d %d %d", seen, matched, evicted)
+	}
+	recs := tap.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d", len(recs))
+	}
+	if recs[0].Pkt.UDP.SrcPort != 1002 {
+		t.Fatalf("oldest retained should be #2, got %d", recs[0].Pkt.UDP.SrcPort)
+	}
+}
+
+func TestTapClonesPackets(t *testing.T) {
+	tap := NewTap(nil, 10)
+	p := udp(1, 2, 3, 4)
+	tap.Offer(p, 0)
+	p.UDP.SrcPort = 999 // mutate after capture
+	if tap.Records()[0].Pkt.UDP.SrcPort != 3 {
+		t.Fatal("tap must deep-copy captured packets")
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	p := udp(1, 2, 3, 4)
+	r := Record{Pkt: p}
+	if r.Attribution() != "?" {
+		t.Fatalf("untrusted: %q", r.Attribution())
+	}
+	p.Meta.TrustedMeta = true
+	p.Meta.UID, p.Meta.PID, p.Meta.Command = 5, 6, "x"
+	if r.Attribution() != "uid=5 pid=6 cmd=x" {
+		t.Fatalf("attribution: %q", r.Attribution())
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	recs := []Record{
+		{At: sim.Time(3 * sim.Microsecond), Pkt: udp(packet.MakeIP(10, 0, 0, 1), packet.MakeIP(10, 0, 0, 2), 1234, 53)},
+		{At: sim.Time(2 * sim.Second), Pkt: packet.NewARPRequest(packet.MAC{0xaa}, 1, 2)},
+	}
+	recs[0].Pkt.Payload = []byte("dns-query-ish payload contents!!")
+	recs[0].Pkt.PayloadLen = len(recs[0].Pkt.Payload)
+
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, recs); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	if got[0].Pkt.UDP == nil || got[0].Pkt.UDP.DstPort != 53 {
+		t.Fatal("udp record lost")
+	}
+	if !bytes.Equal(got[0].Pkt.Payload, recs[0].Pkt.Payload) {
+		t.Fatal("payload lost")
+	}
+	if got[1].Pkt.ARP == nil {
+		t.Fatal("arp record lost")
+	}
+	// Timestamps survive at microsecond resolution.
+	if got[1].At != recs[1].At {
+		t.Fatalf("timestamp: %v vs %v", got[1].At, recs[1].At)
+	}
+}
+
+// Property: any set of captured UDP packets survives a pcap round trip with
+// ports and payload sizes intact.
+func TestPcapRoundTripQuick(t *testing.T) {
+	f := func(ports []uint16, sizes []uint8) bool {
+		n := len(ports)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if n > 16 {
+			n = 16
+		}
+		recs := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			p := udp(1, 2, ports[i], 53)
+			p.PayloadLen = int(sizes[i])
+			p.Payload = bytes.Repeat([]byte{byte(i)}, int(sizes[i]))
+			recs = append(recs, Record{At: sim.Time(i) * sim.Time(sim.Microsecond), Pkt: p})
+		}
+		var buf bytes.Buffer
+		if err := WritePcap(&buf, recs); err != nil {
+			return false
+		}
+		got, err := ReadPcap(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i].Pkt.UDP == nil || got[i].Pkt.UDP.SrcPort != ports[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

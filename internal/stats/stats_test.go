@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"norman/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i) * sim.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != sim.Microsecond || h.Max() != 100*sim.Microsecond {
+		t.Fatalf("min/max: %v %v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*sim.Microsecond || mean > 51*sim.Microsecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	p50 := h.P50()
+	if p50 < 45*sim.Microsecond || p50 > 55*sim.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.P99()
+	if p99 < 94*sim.Microsecond || p99 > 100*sim.Microsecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+func TestHistogramMatchesExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var h Histogram
+	samples := make([]sim.Duration, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		d := sim.Duration(rng.Intn(1_000_000)+1) * sim.Nanosecond
+		h.Observe(d)
+		samples = append(samples, d)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := Summary(samples, q)
+		approx := h.Quantile(q)
+		ratio := float64(approx) / float64(exact)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("q=%v: approx %v vs exact %v (ratio %.3f)", q, approx, exact, ratio)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.P50() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram")
+	}
+	h.Observe(-5) // clamps to zero
+	if h.Min() != 0 {
+		t.Fatalf("negative clamp: %v", h.Min())
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestThroughputAndRate(t *testing.T) {
+	// 125 MB over 10 ms = 100 Gbps.
+	g := Throughput(125_000_000, 10*sim.Millisecond)
+	if g < 99.9 || g > 100.1 {
+		t.Fatalf("throughput = %v", g)
+	}
+	r := Rate(1000, sim.Duration(sim.Second))
+	if r != 1000 {
+		t.Fatalf("rate = %v", r)
+	}
+	if Throughput(1, 0) != 0 || Rate(1, 0) != 0 {
+		t.Fatal("zero interval")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("longer-name", 123.456)
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "alpha") {
+		t.Fatalf("render: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows -> 5? title+header+sep+2
+		if len(lines) != 5 {
+			t.Fatalf("line count %d: %q", len(lines), out)
+		}
+	}
+	// Columns align: header and rows share the first column width.
+	if !strings.Contains(out, "longer-name  123.5") && !strings.Contains(out, "longer-name  123.46") {
+		t.Fatalf("float formatting: %q", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.0)
+	tb.AddRow(0.1234)
+	tb.AddRow(12345.6)
+	out := tb.String()
+	for _, want := range []string{"3", "0.1234", "12345.6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"testing"
+
+	"norman/internal/arch"
+	"norman/internal/host"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// TestTransferSurvivesBitstreamOutage is the E4/transport integration: a
+// bitstream respin (§4.4's "equivalent to upgrading the kernel") blacks out
+// the dataplane mid-transfer; the library transport's retransmission
+// machinery rides it out and the transfer still completes, bit-complete.
+func TestTransferSurvivesBitstreamOutage(t *testing.T) {
+	a := arch.New("kopi", arch.WorldConfig{})
+	w := a.World()
+
+	resp := NewResponder(a, 5001, 7)
+	w.Peer = resp.Recv
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "sender")
+	flow := packet.FlowKey{Src: w.HostIP, Dst: w.PeerIP, SrcPort: 4001, DstPort: 5001, Proto: packet.ProtoTCP}
+	conn, err := a.Connect(proc, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := host.NewMux(a)
+
+	const total = 1 << 20
+	s := New(a, conn, flow, mux, Config{TotalBytes: total})
+	s.Start()
+
+	// Mid-transfer, yank the dataplane for 3 ms.
+	w.Eng.At(sim.Time(200*sim.Microsecond), func() {
+		w.NIC.ReloadBitstream(w.Eng.Now(), 3*sim.Millisecond)
+	})
+
+	w.Eng.RunUntil(sim.Time(10 * sim.Second))
+
+	if !s.Done() {
+		t.Fatalf("transfer did not survive the outage: %v (stats %+v)", s, s.Stats)
+	}
+	if resp.Received != total {
+		t.Fatalf("responder got %d/%d in-order bytes", resp.Received, total)
+	}
+	if s.Stats.Timeouts == 0 {
+		t.Fatal("the outage must have forced RTO recovery")
+	}
+	if w.NIC.RxOutageDrop == 0 && w.NIC.TxDropVerdict == 0 {
+		t.Fatal("the outage should have eaten traffic")
+	}
+	// The blackout plus recovery dominates the completion time.
+	if s.Stats.Finished < sim.Time(3*sim.Millisecond) {
+		t.Fatalf("finished at %v, before the outage even ended", s.Stats.Finished)
+	}
+}

@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"norman/internal/arch"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// Responder is the remote endpoint: it consumes data segments arriving on
+// the wire, reassembles in order, and returns cumulative ACKs. An optional
+// loss model drops data and/or ACK packets deterministically, which the
+// tests use to exercise retransmission and congestion control.
+type Responder struct {
+	a    arch.Arch
+	port uint16 // local (responder-side) port the stream targets
+
+	rcvNxt uint32
+	// ooo holds out-of-order segments: start -> end (exclusive).
+	ooo map[uint32]uint32
+
+	// Loss model.
+	DataLossProb float64
+	AckLossProb  float64
+	rng          *sim.RNG
+
+	Received  uint64 // in-order bytes delivered
+	AcksSent  uint64
+	DataDrops uint64
+	AckDrops  uint64
+}
+
+// NewResponder builds the peer endpoint for streams targeting dstPort.
+// Install its Recv as (or inside) the world's Peer function.
+func NewResponder(a arch.Arch, dstPort uint16, seed int64) *Responder {
+	return &Responder{
+		a:    a,
+		port: dstPort,
+		ooo:  map[uint32]uint32{},
+		rng:  sim.NewRNG(seed, "transport-responder"),
+	}
+}
+
+// Recv is the wire-peer callback: feed it every frame that leaves the host.
+func (r *Responder) Recv(p *packet.Packet, at sim.Time) {
+	if p.TCP == nil || p.IP == nil || p.TCP.DstPort != r.port {
+		return
+	}
+	if p.TCP.Flags&packet.TCPAck != 0 && p.PayloadLen == 0 {
+		return // not a data segment
+	}
+	if r.DataLossProb > 0 && r.rng.Float64() < r.DataLossProb {
+		r.DataDrops++
+		return
+	}
+
+	start := p.TCP.Seq
+	end := start + uint32(p.PayloadLen)
+	if end > start {
+		r.note(start, end)
+	}
+
+	// Cumulative ACK for everything contiguous so far.
+	if r.AckLossProb > 0 && r.rng.Float64() < r.AckLossProb {
+		r.AckDrops++
+		return
+	}
+	ack := packet.NewTCP(p.Eth.Dst, p.Eth.Src, p.IP.Dst, p.IP.Src,
+		p.TCP.DstPort, p.TCP.SrcPort, packet.TCPAck, 0)
+	ack.TCP.Ack = r.rcvNxt
+	r.AcksSent++
+	r.a.DeliverWire(ack)
+}
+
+// note records a received range and advances rcvNxt over any now-contiguous
+// out-of-order data.
+func (r *Responder) note(start, end uint32) {
+	if end <= r.rcvNxt {
+		return // duplicate of already-delivered data
+	}
+	if start > r.rcvNxt {
+		// Out of order: remember the range (merge naively by start).
+		if old, ok := r.ooo[start]; !ok || end > old {
+			r.ooo[start] = end
+		}
+		return
+	}
+	// In order (possibly overlapping): deliver.
+	r.advance(end)
+	// Pull any buffered ranges that are now contiguous.
+	for {
+		progressed := false
+		for s, e := range r.ooo {
+			if s <= r.rcvNxt {
+				if e > r.rcvNxt {
+					r.advance(e)
+				}
+				delete(r.ooo, s)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (r *Responder) advance(to uint32) {
+	r.Received += uint64(to - r.rcvNxt)
+	r.rcvNxt = to
+}

@@ -1,0 +1,325 @@
+// Package transport is the Norman library's reliable byte-stream transport:
+// sliding-window delivery with cumulative ACKs, RTT-adaptive retransmission
+// (Jacobson/Karels), fast retransmit on triple duplicate ACKs, and NewReno-
+// style AIMD congestion control.
+//
+// The paper's architecture (§4.2) puts exactly this logic in the *library*:
+// congestion control and reliability are dataplane functionality that needs
+// no privileged interposition, so under KOPI they run in the application's
+// address space over its own rings — while the on-NIC interposition layer
+// still sees (and can police) every segment.
+package transport
+
+import (
+	"fmt"
+
+	"norman/internal/arch"
+	"norman/internal/host"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// MSS is the maximum segment payload.
+const MSS = 1400
+
+// Config parameterizes a stream.
+type Config struct {
+	TotalBytes uint32       // how much to transfer
+	Window     uint32       // receiver window in bytes (0 = 256 KiB)
+	InitialRTO sim.Duration // 0 = 10 ms
+	MaxRTO     sim.Duration // 0 = 500 ms
+	// SuperSegment posts segments of this size to the NIC (TSO: the NIC
+	// cuts them to wire MSS). 0 = plain MSS segments. The connection must
+	// have TSO enabled (nic.SetTSO) or the wire will carry jumbo frames.
+	SuperSegment uint32
+	Done         func(at sim.Time)
+}
+
+// Stats tracks a stream's behavior for tests and benches.
+type Stats struct {
+	SegmentsSent    uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Timeouts        uint64
+	AckedBytes      uint64
+	Started         sim.Time
+	Finished        sim.Time
+	// CwndMax is the peak congestion window observed, in bytes.
+	CwndMax float64
+}
+
+// Goodput returns achieved application throughput in Gbit/s.
+func (s Stats) Goodput() float64 {
+	if s.Finished <= s.Started {
+		return 0
+	}
+	return float64(s.AckedBytes) * 8 / s.Finished.Sub(s.Started).Seconds() / 1e9
+}
+
+// Stream is the sending side of a reliable transfer over one connection.
+type Stream struct {
+	a    arch.Arch
+	conn *arch.Conn
+	flow packet.FlowKey
+	cfg  Config
+
+	sndUna       uint32 // oldest unacknowledged byte
+	sndNxt       uint32 // next byte to send
+	cwnd         float64
+	ssthresh     float64
+	dupAcks      int
+	recovering   bool // in fast recovery until recoverPoint is acked
+	recoverPoint uint32
+
+	srtt, rttvar sim.Duration
+	rto          sim.Duration
+	rttSeq       uint32   // segment whose RTT is being timed
+	rttSentAt    sim.Time // when it was sent
+	rttValid     bool
+
+	timerGen uint64 // cancels stale RTO events
+	done     bool
+
+	Stats Stats
+}
+
+// New creates a stream sending cfg.TotalBytes over conn, registering its ACK
+// handler on the mux. Call Start to begin.
+func New(a arch.Arch, conn *arch.Conn, flow packet.FlowKey, mux *host.Mux, cfg Config) *Stream {
+	if cfg.Window == 0 {
+		cfg.Window = 256 << 10
+	}
+	if cfg.InitialRTO == 0 {
+		cfg.InitialRTO = 10 * sim.Millisecond
+	}
+	if cfg.MaxRTO == 0 {
+		cfg.MaxRTO = 500 * sim.Millisecond
+	}
+	s := &Stream{
+		a: a, conn: conn, flow: flow, cfg: cfg,
+		cwnd:     4 * MSS, // RFC 6928-style initial window (scaled down)
+		ssthresh: float64(cfg.Window),
+		rto:      cfg.InitialRTO,
+	}
+	mux.Handle(conn, s.onAck)
+	return s
+}
+
+// Start begins the transfer at the current virtual time.
+func (s *Stream) Start() {
+	s.Stats.Started = s.now()
+	s.trySend()
+}
+
+// Done reports whether the whole transfer has been acknowledged.
+func (s *Stream) Done() bool { return s.done }
+
+func (s *Stream) now() sim.Time { return s.a.World().Eng.Now() }
+
+// segment builds the TCP data segment starting at seq.
+func (s *Stream) segment(seq uint32) *packet.Packet {
+	n := uint32(MSS)
+	if s.cfg.SuperSegment > n {
+		n = s.cfg.SuperSegment
+	}
+	if rem := s.cfg.TotalBytes - seq; rem < n {
+		n = rem
+	}
+	w := s.a.World()
+	p := packet.NewTCP(w.HostMAC, w.PeerMAC, s.flow.Src, s.flow.Dst,
+		s.flow.SrcPort, s.flow.DstPort, packet.TCPPsh, int(n))
+	p.TCP.Seq = seq
+	return p
+}
+
+// inFlightLimit is the current send window in bytes.
+func (s *Stream) inFlightLimit() uint32 {
+	win := uint32(s.cwnd)
+	if win > s.cfg.Window {
+		win = s.cfg.Window
+	}
+	if win < MSS {
+		win = MSS
+	}
+	return win
+}
+
+// trySend transmits as much new data as the window allows.
+func (s *Stream) trySend() {
+	if s.done {
+		return
+	}
+	for s.sndNxt < s.cfg.TotalBytes && s.sndNxt-s.sndUna < s.inFlightLimit() {
+		seg := s.segment(s.sndNxt)
+		if !s.rttValid {
+			s.rttSeq = s.sndNxt
+			s.rttSentAt = s.now()
+			s.rttValid = true
+		}
+		s.sndNxt += uint32(seg.PayloadLen)
+		s.Stats.SegmentsSent++
+		s.a.Send(s.conn, seg)
+	}
+	if s.cwnd > s.Stats.CwndMax {
+		s.Stats.CwndMax = s.cwnd
+	}
+	s.armTimer()
+}
+
+// retransmit resends the oldest unacknowledged segment.
+func (s *Stream) retransmit() {
+	seg := s.segment(s.sndUna)
+	s.Stats.SegmentsSent++
+	s.Stats.Retransmits++
+	s.rttValid = false // Karn: never time retransmitted segments
+	s.a.Send(s.conn, seg)
+	s.armTimer()
+}
+
+// armTimer schedules (or reschedules) the RTO for the current window.
+func (s *Stream) armTimer() {
+	if s.done || s.sndUna >= s.cfg.TotalBytes {
+		return
+	}
+	s.timerGen++
+	gen := s.timerGen
+	s.a.World().Eng.After(s.rto, func() {
+		if gen != s.timerGen || s.done {
+			return
+		}
+		s.onTimeout()
+	})
+}
+
+func (s *Stream) onTimeout() {
+	if s.sndUna >= s.cfg.TotalBytes {
+		return
+	}
+	s.Stats.Timeouts++
+	s.ssthresh = maxf(s.cwnd/2, 2*MSS)
+	s.cwnd = MSS
+	s.recovering = false
+	s.dupAcks = 0
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	// Go-back-N from the timeout point: resend the first hole only; the
+	// cumulative ACK will pull the rest.
+	s.sndNxt = maxu(s.sndUna+MSS, s.sndUna) // allow window to refill gradually
+	if s.sndNxt > s.cfg.TotalBytes {
+		s.sndNxt = s.cfg.TotalBytes
+	}
+	s.retransmit()
+}
+
+// onAck processes a cumulative acknowledgment from the responder.
+func (s *Stream) onAck(_ *arch.Conn, p *packet.Packet, at sim.Time) {
+	if p.TCP == nil || p.TCP.Flags&packet.TCPAck == 0 || s.done {
+		return
+	}
+	ack := p.TCP.Ack
+	switch {
+	case ack > s.sndUna:
+		acked := ack - s.sndUna
+		s.Stats.AckedBytes += uint64(acked)
+		s.sndUna = ack
+		s.dupAcks = 0
+
+		// RTT sample (Karn-compliant: only for never-retransmitted probes).
+		if s.rttValid && ack > s.rttSeq {
+			s.updateRTT(at.Sub(s.rttSentAt))
+			s.rttValid = false
+		}
+
+		if s.recovering {
+			if ack >= s.recoverPoint {
+				s.recovering = false
+				s.cwnd = s.ssthresh
+			}
+		} else if s.cwnd < s.ssthresh {
+			s.cwnd += float64(acked) // slow start
+		} else {
+			s.cwnd += MSS * float64(acked) / s.cwnd // congestion avoidance
+		}
+
+		if s.sndNxt < s.sndUna {
+			s.sndNxt = s.sndUna
+		}
+		if s.sndUna >= s.cfg.TotalBytes {
+			s.done = true
+			s.timerGen++
+			s.Stats.Finished = at
+			if s.cfg.Done != nil {
+				s.cfg.Done(at)
+			}
+			return
+		}
+		s.armTimer()
+		s.trySend()
+
+	case ack == s.sndUna:
+		s.dupAcks++
+		if s.dupAcks == 3 && !s.recovering {
+			// Fast retransmit + NewReno-style recovery.
+			s.Stats.FastRetransmits++
+			s.ssthresh = maxf(s.cwnd/2, 2*MSS)
+			s.cwnd = s.ssthresh + 3*MSS
+			s.recovering = true
+			s.recoverPoint = s.sndNxt
+			s.retransmit()
+		} else if s.recovering {
+			s.cwnd += MSS // inflate per additional dupack
+			s.trySend()
+		}
+	}
+}
+
+// updateRTT runs the Jacobson/Karels estimator.
+func (s *Stream) updateRTT(sample sim.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < sim.Millisecond {
+		s.rto = sim.Millisecond
+	}
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+}
+
+// SRTT exposes the smoothed RTT estimate.
+func (s *Stream) SRTT() sim.Duration { return s.srtt }
+
+// Cwnd exposes the current congestion window in bytes.
+func (s *Stream) Cwnd() float64 { return s.cwnd }
+
+func (s *Stream) String() string {
+	return fmt.Sprintf("stream[una=%d nxt=%d cwnd=%.0f rto=%v]", s.sndUna, s.sndNxt, s.cwnd, s.rto)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxu(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"testing"
+
+	"norman/internal/arch"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+func TestNetworkRoutesByDestination(t *testing.T) {
+	a := arch.New("kopi", arch.WorldConfig{})
+	w := a.World()
+	n := NewNetwork(a)
+	e1 := n.AddEndpoint(packet.MakeIP(10, 1, 0, 1), packet.MAC{0x02, 1}, nil)
+	e2 := n.AddEndpoint(packet.MakeIP(10, 1, 0, 2), packet.MAC{0x02, 2}, nil)
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "p")
+	flow1 := packet.FlowKey{Src: w.HostIP, Dst: e1.IP, SrcPort: 1000, DstPort: 7, Proto: packet.ProtoUDP}
+	c1, err := a.Connect(proc, flow1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Send(c1, packet.NewUDP(w.HostMAC, e1.MAC, flow1.Src, flow1.Dst, 1000, 7, 64))
+	// And one to nowhere.
+	a.Send(c1, packet.NewUDP(w.HostMAC, packet.MAC{9}, w.HostIP, packet.MakeIP(10, 9, 9, 9), 1000, 7, 64))
+	w.Eng.Run()
+
+	if e1.Received != 1 || e2.Received != 0 {
+		t.Fatalf("routing: e1=%d e2=%d", e1.Received, e2.Received)
+	}
+	if n.Unrouted != 1 {
+		t.Fatalf("unrouted = %d", n.Unrouted)
+	}
+}
+
+func TestEndpointEchoAndFleet(t *testing.T) {
+	a := arch.New("kopi", arch.WorldConfig{})
+	w := a.World()
+	n := NewNetwork(a)
+	eps, err := n.ClientFleet(8, EchoUDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "p")
+
+	var got int
+	a.SetDeliver(func(*arch.Conn, *packet.Packet, sim.Time) { got++ })
+	for i, ep := range eps {
+		flow := packet.FlowKey{Src: w.HostIP, Dst: ep.IP,
+			SrcPort: uint16(1000 + i), DstPort: 7, Proto: packet.ProtoUDP}
+		c, err := a.Connect(proc, flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Send(c, packet.NewUDP(w.HostMAC, ep.MAC, flow.Src, flow.Dst, flow.SrcPort, 7, 100))
+	}
+	w.Eng.Run()
+	if got != 8 {
+		t.Fatalf("echoes = %d", got)
+	}
+}
+
+// TestHostARPResponderByArchitecture: a remote endpoint ARPs for the host.
+// Under OS-integrated interposition the kernel answers; under raw bypass
+// and the hypervisor switch, nobody does — the §2 debugging scenario's
+// other half (inbound ARP is as unowned as outbound).
+func TestHostARPResponderByArchitecture(t *testing.T) {
+	expect := map[string]bool{
+		"kernelstack": true,
+		"sidecar":     true,
+		"kopi":        true,
+		"bypass":      false,
+		"hypervisor":  false,
+	}
+	for name, want := range expect {
+		a := arch.New(name, arch.WorldConfig{})
+		w := a.World()
+		n := NewNetwork(a)
+		ep := n.AddEndpoint(packet.MakeIP(10, 1, 0, 5), packet.MAC{0x02, 5}, nil)
+
+		gotReply := false
+		ep.Handler = func(_ *Endpoint, p *packet.Packet, _ sim.Time) {
+			if p.ARP != nil && p.ARP.Op == packet.ARPReply && p.ARP.SenderIP == w.HostIP {
+				gotReply = true
+			}
+		}
+		ep.Send(packet.NewARPRequest(ep.MAC, ep.IP, w.HostIP))
+		w.Eng.Run()
+		if gotReply != want {
+			t.Errorf("%s: host ARP reply = %v, want %v", name, gotReply, want)
+		}
+	}
+}
+
+// TestEndpointAnswersHostARP: the network side answers the host's own ARP
+// requests (who-has endpoint-IP), so OS-integrated stacks can resolve peers.
+func TestEndpointAnswersHostARP(t *testing.T) {
+	a := arch.New("kernelstack", arch.WorldConfig{})
+	w := a.World()
+	n := NewNetwork(a)
+	ep := n.AddEndpoint(packet.MakeIP(10, 1, 0, 9), packet.MAC{0x02, 9}, nil)
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "p")
+	c, err := a.Connect(proc, packet.FlowKey{Src: w.HostIP, Dst: ep.IP, SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The kernel ARPs for the endpoint (modeled as an app-initiated probe
+	// through the stack, which stamps and forwards it).
+	a.Send(c, packet.NewARPRequest(w.HostMAC, w.HostIP, ep.IP))
+	w.Eng.Run()
+
+	if mac, ok := w.Kern.ARP().Lookup(ep.IP); !ok || mac != ep.MAC {
+		t.Fatalf("kernel should learn the endpoint's MAC from its reply: %v %v", mac, ok)
+	}
+}
+
+// TestPingByArchitecture: the admin's oldest tool. The kernel can originate
+// and receive echoes only where it still touches the dataplane.
+func TestPingByArchitecture(t *testing.T) {
+	expect := map[string]bool{
+		"kernelstack": true,
+		"sidecar":     true,
+		"kopi":        true,
+		"bypass":      false,
+		"hypervisor":  false,
+	}
+	for name, want := range expect {
+		a := arch.New(name, arch.WorldConfig{})
+		w := a.World()
+		n := NewNetwork(a)
+		ep := n.AddEndpoint(packet.MakeIP(10, 1, 0, 7), packet.MAC{0x02, 7}, nil)
+
+		var rtt sim.Duration
+		var ok, completed bool
+		err := a.Ping(ep.IP, 56, func(d sim.Duration, o bool) {
+			rtt, ok, completed = d, o, true
+		})
+		w.Eng.Run()
+
+		if want {
+			if err != nil {
+				t.Errorf("%s: ping should be supported: %v", name, err)
+				continue
+			}
+			if !completed || !ok {
+				t.Errorf("%s: ping never completed (ok=%v)", name, ok)
+				continue
+			}
+			// RTT covers at least two wire propagations (2µs each way).
+			if rtt < 4*sim.Microsecond {
+				t.Errorf("%s: rtt %v below physics", name, rtt)
+			}
+		} else if err == nil {
+			t.Errorf("%s: ping should be unsupported", name)
+		}
+	}
+}
+
+// TestPingTimesOutToNowhere: a ping to an address nobody owns expires.
+func TestPingTimesOutToNowhere(t *testing.T) {
+	a := arch.New("kopi", arch.WorldConfig{})
+	w := a.World()
+	NewNetwork(a)
+	var completed, ok bool
+	if err := a.Ping(packet.MakeIP(10, 9, 9, 9), 56, func(_ sim.Duration, o bool) {
+		completed, ok = true, o
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.Eng.Run()
+	if !completed || ok {
+		t.Fatalf("ping to nowhere should time out: completed=%v ok=%v", completed, ok)
+	}
+}

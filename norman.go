@@ -1,0 +1,235 @@
+// Package norman is the public API of the Norman reproduction: a simulated
+// operating system implementing Kernel On-Path Interposition (KOPI) as
+// proposed in "We Need Kernel Interposition over the Network Dataplane"
+// (HotOS '21), together with the four competing dataplane architectures the
+// paper argues against.
+//
+// A System is one simulated host: users, processes, a kernel control plane,
+// a 100 Gbps on-path SmartNIC, and a wire whose far end you script. All time
+// is virtual (picosecond-resolution discrete-event simulation), so results
+// are deterministic and independent of the Go runtime.
+//
+// Quick start:
+//
+//	sys := norman.New(norman.KOPI)
+//	sys.UseEchoPeer()
+//	alice := sys.AddUser(1000, "alice")
+//	app := sys.Spawn(alice, "myapp")
+//	conn, _ := sys.Dial(app, 40000, 7)
+//	conn.OnReceive(func(p norman.Delivery) { ... })
+//	conn.Send(512)
+//	sys.Run()
+//
+// Administrative interposition — the paper's subject — is exposed through
+// the same verbs an admin would use: IPTables (owner-aware filtering), TC
+// (qdiscs/shaping), Tcpdump (attributed capture), Netstat and ARP views.
+// Which of these work, and how well, depends on the architecture you chose;
+// that difference is the reproduction's point.
+package norman
+
+import (
+	"fmt"
+
+	"norman/internal/arch"
+	"norman/internal/host"
+	"norman/internal/kernel"
+	"norman/internal/packet"
+	"norman/internal/sim"
+	"norman/internal/timing"
+)
+
+// Architecture selects the dataplane design a System simulates.
+type Architecture string
+
+// The five architectures of the comparison (§1 of the paper).
+const (
+	KernelStack Architecture = "kernelstack" // traditional in-kernel dataplane
+	Bypass      Architecture = "bypass"      // DPDK/Arrakis-style raw kernel bypass
+	Sidecar     Architecture = "sidecar"     // IX/Snap-style dedicated dataplane core
+	Hypervisor  Architecture = "hypervisor"  // AccelNet-style NIC switch, no process view
+	KOPI        Architecture = "kopi"        // the paper's proposal: Norman
+)
+
+// Architectures lists all five in canonical comparison order.
+func Architectures() []Architecture {
+	out := make([]Architecture, 0, 5)
+	for _, n := range arch.Names() {
+		out = append(out, Architecture(n))
+	}
+	return out
+}
+
+// Option customizes System construction.
+type Option func(*config)
+
+type config struct {
+	world arch.WorldConfig
+}
+
+// WithModel overrides the cost model.
+func WithModel(m timing.Model) Option {
+	return func(c *config) { c.world.Model = m }
+}
+
+// WithRingSize sets per-connection descriptor ring depth (power of two).
+func WithRingSize(n int) Option {
+	return func(c *config) { c.world.RingSize = n }
+}
+
+// WithNICSRAM caps the on-NIC memory budget in bytes.
+func WithNICSRAM(n int) Option {
+	return func(c *config) { c.world.SRAMBudget = n }
+}
+
+// WithoutCacheModel disables LLC/DDIO modeling (the "ideal memory" ablation).
+func WithoutCacheModel() Option {
+	return func(c *config) { c.world.NoLLC = true }
+}
+
+// User is a system user handle.
+type User struct {
+	UID  uint32
+	Name string
+}
+
+// Process is a running process handle.
+type Process struct {
+	p *kernel.Process
+}
+
+// PID returns the process id.
+func (p *Process) PID() uint32 { return p.p.PID }
+
+// UID returns the owning user id.
+func (p *Process) UID() uint32 { return p.p.UID }
+
+// Command returns the command name.
+func (p *Process) Command() string { return p.p.Command }
+
+// Delivery is one packet handed to an application.
+type Delivery struct {
+	Payload int      // payload bytes
+	From    string   // source address "ip:port"
+	At      Duration // virtual time of delivery
+}
+
+// Duration re-exports virtual time spans for API users.
+type Duration = sim.Duration
+
+// Common duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// System is one simulated host on one architecture.
+type System struct {
+	a     arch.Arch
+	w     *arch.World
+	mux   *host.Mux
+	rules []installedRule
+}
+
+// installedRule remembers admin rule state for IPTablesList.
+type installedRule struct {
+	hook string
+	rule Rule
+}
+
+// New builds a System on the given architecture.
+func New(archName Architecture, opts ...Option) *System {
+	cfg := &config{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	a := arch.New(string(archName), cfg.world)
+	if a == nil {
+		panic(fmt.Sprintf("norman: unknown architecture %q", archName))
+	}
+	s := &System{a: a, w: a.World()}
+	s.mux = host.NewMux(a)
+	return s
+}
+
+// ArchitectureName returns the architecture the system runs.
+func (s *System) ArchitectureName() Architecture { return Architecture(s.a.Name()) }
+
+// Capabilities reports what this architecture's interposition point can do.
+func (s *System) Capabilities() arch.Caps { return s.a.Caps() }
+
+// AddUser registers a user.
+func (s *System) AddUser(uid uint32, name string) *User {
+	s.w.Kern.AddUser(uid, name)
+	return &User{UID: uid, Name: name}
+}
+
+// Spawn starts a process owned by user running command.
+func (s *System) Spawn(u *User, command string) *Process {
+	return &Process{p: s.w.Kern.Spawn(u.UID, command)}
+}
+
+// Now returns the current virtual time since start.
+func (s *System) Now() Duration { return sim.Duration(s.w.Eng.Now()) }
+
+// Run executes queued events until the simulation drains and returns the
+// final virtual time.
+func (s *System) Run() Duration { return sim.Duration(s.w.Eng.Run()) }
+
+// RunFor executes events up to d of virtual time.
+func (s *System) RunFor(d Duration) Duration {
+	return sim.Duration(s.w.Eng.RunUntil(s.w.Eng.Now().Add(d)))
+}
+
+// At schedules fn at an absolute virtual time.
+func (s *System) At(t Duration, fn func()) { s.w.Eng.At(sim.Time(t), fn) }
+
+// After schedules fn after a virtual delay.
+func (s *System) After(d Duration, fn func()) { s.w.Eng.After(d, fn) }
+
+// UseEchoPeer installs a wire peer that echoes UDP datagrams back.
+func (s *System) UseEchoPeer() {
+	s.w.Peer = host.EchoPeer(s.a)
+}
+
+// UseSinkPeer installs a counting sink as the wire peer and returns it.
+func (s *System) UseSinkPeer() *host.SinkPeer {
+	sink := host.NewSinkPeer()
+	s.w.Peer = sink.Recv
+	return sink
+}
+
+// Ping sends a kernel-originated ICMP echo to dst (dotted quad) and calls
+// done with the round-trip time. On architectures whose kernel cannot see
+// the reply (bypass, hypervisor) it returns an error immediately — the
+// paper's manageability gap includes ping.
+func (s *System) Ping(dst string, done func(rtt Duration, ok bool)) error {
+	var a, b, c, d byte
+	if _, err := fmt.Sscanf(dst, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return fmt.Errorf("norman: bad address %q", dst)
+	}
+	return s.a.Ping(packet.MakeIP(a, b, c, d), 56, func(rtt sim.Duration, ok bool) {
+		if done != nil {
+			done(rtt, ok)
+		}
+	})
+}
+
+// InjectInbound delivers a UDP datagram from the peer toward the local
+// (srcPort, dstPort) flow previously opened with Dial.
+func (s *System) InjectInbound(c *Conn, payload int) {
+	s.a.DeliverWire(s.w.UDPFrom(c.flow, payload))
+}
+
+// World exposes the underlying simulation world for advanced use (bench
+// harnesses, custom peers). Most callers never need it.
+func (s *System) World() *arch.World { return s.w }
+
+// Arch exposes the underlying architecture implementation.
+func (s *System) Arch() arch.Arch { return s.a }
+
+// kernFlow builds the canonical local->peer UDP flow key.
+func (s *System) kernFlow(localPort, remotePort uint16) packet.FlowKey {
+	return s.w.Flow(localPort, remotePort)
+}

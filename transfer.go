@@ -1,0 +1,79 @@
+package norman
+
+import (
+	"norman/internal/sim"
+	"norman/internal/transport"
+)
+
+// Stream is a reliable transfer running in the Norman library over one
+// connection (§4.2: transport is unprivileged dataplane functionality, so it
+// lives in the application's address space, not the interposition layer).
+type Stream struct {
+	s *transport.Stream
+}
+
+// TransferStats summarizes a stream.
+type TransferStats struct {
+	GoodputGbps     float64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Timeouts        uint64
+	SegmentsSent    uint64
+	CwndMaxBytes    float64
+	SRTT            Duration
+}
+
+// StartTransfer begins a reliable transfer of total bytes on the connection
+// and calls done when the last byte is acknowledged. The remote end must be
+// a transport responder (see UseTransportPeer).
+func (c *Conn) StartTransfer(total uint32, done func()) *Stream {
+	s := transport.New(c.sys.a, c.c, c.flow, c.sys.mux, transport.Config{
+		TotalBytes: total,
+		Done: func(at sim.Time) {
+			if done != nil {
+				done()
+			}
+		},
+	})
+	s.Start()
+	return &Stream{s: s}
+}
+
+// Done reports whether the transfer completed.
+func (st *Stream) Done() bool { return st.s.Done() }
+
+// Stats returns the transfer's behavior summary.
+func (st *Stream) Stats() TransferStats {
+	raw := st.s.Stats
+	return TransferStats{
+		GoodputGbps:     raw.Goodput(),
+		Retransmits:     raw.Retransmits,
+		FastRetransmits: raw.FastRetransmits,
+		Timeouts:        raw.Timeouts,
+		SegmentsSent:    raw.SegmentsSent,
+		CwndMaxBytes:    raw.CwndMax,
+		SRTT:            st.s.SRTT(),
+	}
+}
+
+// TransportPeer is the remote endpoint of reliable transfers, with an
+// optional loss model for exercising recovery.
+type TransportPeer struct {
+	r *transport.Responder
+}
+
+// UseTransportPeer installs a transport responder as the wire peer for
+// streams targeting dstPort, dropping data segments with the given
+// probability.
+func (s *System) UseTransportPeer(dstPort uint16, dataLossProb float64) *TransportPeer {
+	r := transport.NewResponder(s.a, dstPort, 1)
+	r.DataLossProb = dataLossProb
+	s.w.Peer = r.Recv
+	return &TransportPeer{r: r}
+}
+
+// ReceivedBytes returns in-order bytes delivered at the peer.
+func (p *TransportPeer) ReceivedBytes() uint64 { return p.r.Received }
+
+// DroppedData returns how many data segments the loss model discarded.
+func (p *TransportPeer) DroppedData() uint64 { return p.r.DataDrops }
