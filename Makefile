@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the gate every PR must pass.
+
+GO ?= go
+
+.PHONY: check build test race bench bench-engine baselines
+
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	NORMAN_WORKERS=8 $(GO) test -race -count=1 ./internal/sim/... ./internal/experiments/...
+
+# Engine hot-loop microbenchmarks (the allocs/op column must stay at 0).
+bench-engine:
+	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem ./internal/sim/
+
+# Full experiment benchmark sweep (regenerates every table).
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerate the BENCH_E*.json / BENCH_ENGINE.json perf baselines at full
+# scale with the parallel harness.
+baselines:
+	$(GO) run ./cmd/kopibench -parallel -json -outdir .

@@ -5,6 +5,11 @@ package norman_test
 // on the first iteration; `go test -bench . -benchmem` therefore regenerates
 // every table the reproduction promises. cmd/kopibench wraps the same
 // drivers for ad-hoc runs.
+//
+// The drivers fan their independent worlds across a worker pool bounded at
+// GOMAXPROCS (NORMAN_WORKERS=1 restores sequential execution for
+// single-core-comparable wall-clock numbers). The tables are byte-identical
+// either way; only the measured wall time changes.
 
 import (
 	"fmt"

@@ -3,21 +3,36 @@
 //
 // Usage:
 //
-//	kopibench              # run every experiment at full scale
-//	kopibench -e E3        # run one experiment
-//	kopibench -scale 0.3   # compress durations/sweeps for a quick pass
-//	kopibench -list        # list experiments
+//	kopibench                  # run every experiment at full scale, sequentially
+//	kopibench -parallel        # fan each experiment's worlds across all cores
+//	kopibench -workers 4       # explicit worker count (implies -parallel)
+//	kopibench -e E3            # run one experiment
+//	kopibench -scale 0.3       # compress durations/sweeps for a quick pass
+//	kopibench -json            # also write BENCH_E*.json + BENCH_ENGINE.json
+//	kopibench -outdir results  # where -json baselines land (default .)
+//	kopibench -list            # list experiments
+//
+// The -json baselines are the repo's perf trajectory: each BENCH_E*.json
+// records the experiment's wall-clock and simulated-event throughput at a
+// given worker count, and BENCH_ENGINE.json records the raw event-engine
+// dispatch rate and allocations per event. Future performance work is
+// measured against these files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
 	"norman/internal/experiments"
+	"norman/internal/sim"
 	"norman/internal/stats"
 )
 
@@ -45,11 +60,47 @@ var registry = map[string]struct {
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE8(s); return t }},
 }
 
+// benchRecord is one experiment's perf baseline, serialized to
+// BENCH_<id>.json when -json is set.
+type benchRecord struct {
+	ID           string  `json:"id"`
+	Desc         string  `json:"desc"`
+	Scale        float64 `json:"scale"`
+	Workers      int     `json:"workers"`
+	WallMillis   float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// engineRecord is the raw event-engine baseline (BENCH_ENGINE.json): the
+// budget every simulated nanosecond is paid out of.
+type engineRecord struct {
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
 func main() {
 	exp := flag.String("e", "", "experiment id (E1..E8); empty = all")
 	scale := flag.Float64("scale", 1.0, "duration/sweep scale factor (1.0 = full)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Bool("parallel", false, "fan each experiment's independent worlds across all cores")
+	workersFlag := flag.Int("workers", 0, "worker-pool width (implies -parallel; 0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "write BENCH_<id>.json baselines (wall clock, events/sec) and BENCH_ENGINE.json")
+	outdir := flag.String("outdir", ".", "directory -json baselines are written to")
 	flag.Parse()
+
+	// Sequential by default so historical numbers stay comparable; the
+	// pool is opt-in per run. NORMAN_WORKERS is honored only in parallel
+	// mode (SetWorkers(0) defers to it).
+	nWorkers := 1
+	if *parallel || *workersFlag > 0 {
+		experiments.SetWorkers(*workersFlag)
+		nWorkers = experiments.Workers()
+	} else {
+		experiments.SetWorkers(1)
+	}
 
 	ids := make([]string, 0, len(registry))
 	for id := range registry {
@@ -76,12 +127,84 @@ func main() {
 		selected = []string{id}
 	}
 
+	if *jsonOut {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "kopibench: outdir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, id := range selected {
 		e := registry[id]
-		fmt.Printf("=== %s: %s (scale %.2f)\n", id, e.desc, *scale)
+		fmt.Printf("=== %s: %s (scale %.2f, workers %d)\n", id, e.desc, *scale, nWorkers)
+		firedBefore := sim.FiredTotal()
 		start := time.Now()
 		tbl := e.run(experiments.Scale(*scale))
+		wall := time.Since(start)
+		events := sim.FiredTotal() - firedBefore
 		fmt.Println(tbl.String())
-		fmt.Printf("--- %s done in %v (wall clock)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("--- %s done in %v (wall clock), %d events, %.1f Mevents/s\n\n",
+			id, wall.Round(time.Millisecond), events, float64(events)/wall.Seconds()/1e6)
+
+		if *jsonOut {
+			rec := benchRecord{
+				ID: id, Desc: e.desc, Scale: *scale, Workers: nWorkers,
+				WallMillis:   float64(wall.Nanoseconds()) / 1e6,
+				Events:       events,
+				EventsPerSec: float64(events) / wall.Seconds(),
+			}
+			writeJSON(filepath.Join(*outdir, "BENCH_"+id+".json"), rec)
+		}
 	}
+
+	if *jsonOut {
+		fmt.Printf("=== engine: event dispatch microbenchmark\n")
+		rec := engineBaseline()
+		fmt.Printf("--- %.1f ns/event, %.1f Mevents/s, %d allocs/op\n",
+			rec.NsPerEvent, rec.EventsPerSec/1e6, rec.AllocsPerOp)
+		writeJSON(filepath.Join(*outdir, "BENCH_ENGINE.json"), rec)
+	}
+}
+
+// engineBaseline measures raw event dispatch in-process (the same loop as
+// BenchmarkEngineEventThroughput in internal/sim).
+func engineBaseline() engineRecord {
+	// Pin to one core for a stable single-threaded dispatch number.
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		var fire func()
+		n := 0
+		fire = func() {
+			n++
+			if n < b.N {
+				e.After(sim.Nanosecond, fire)
+			}
+		}
+		e.At(0, fire)
+		e.Run()
+	})
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return engineRecord{
+		NsPerEvent:   ns,
+		EventsPerSec: 1e9 / ns,
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+	}
+}
+
+func writeJSON(path string, v interface{}) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kopibench: marshal %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "kopibench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("    wrote %s\n", path)
 }

@@ -31,31 +31,41 @@ type E1Row struct {
 // the policy column costing kopi (and hypervisor) nothing and the software
 // stacks real throughput.
 func RunE1(scale Scale) ([]E1Row, *stats.Table) {
-	rows := make([]E1Row, 0, 6)
-	for _, name := range arch.Names() {
-		row := E1Row{Arch: name}
-		a := arch.New(name, arch.WorldConfig{})
-		row.Transfers = a.Caps().Transfers
-
-		row.ThrBareGbps, row.CPUPerGbit = e1Throughput(arch.New(name, arch.WorldConfig{}), 1460, false, scale)
-		row.Thr64Gbps, _ = e1Throughput(arch.New(name, arch.WorldConfig{}), 64, false, scale)
-		row.ThrPolicyGbps, _ = e1Throughput(arch.New(name, arch.WorldConfig{}), 1460, true, scale)
-		row.ThrRxGbps = e1RxThroughput(arch.New(name, arch.WorldConfig{}), scale)
-		row.RTT50, row.RTT99 = e1RTT(arch.New(name, arch.WorldConfig{}), scale)
-		rows = append(rows, row)
+	// Each measurement builds a fresh world, so every (arch, metric) cell
+	// is independent: fan all of them out; each task writes only its row's
+	// fields.
+	names := arch.Names()
+	rows := make([]E1Row, len(names)+1)
+	r := NewRunner()
+	for i, name := range names {
+		i, name := i, name
+		row := &rows[i]
+		row.Arch = name
+		row.Transfers = arch.New(name, arch.WorldConfig{}).Caps().Transfers
+		r.Go(func() {
+			row.ThrBareGbps, row.CPUPerGbit = e1Throughput(arch.New(name, arch.WorldConfig{}), 1460, false, scale)
+		})
+		r.Go(func() { row.Thr64Gbps, _ = e1Throughput(arch.New(name, arch.WorldConfig{}), 64, false, scale) })
+		r.Go(func() { row.ThrPolicyGbps, _ = e1Throughput(arch.New(name, arch.WorldConfig{}), 1460, true, scale) })
+		r.Go(func() { row.ThrRxGbps = e1RxThroughput(arch.New(name, arch.WorldConfig{}), scale) })
+		r.Go(func() { row.RTT50, row.RTT99 = e1RTT(arch.New(name, arch.WorldConfig{}), scale) })
 	}
 	// Sensitivity row: give the kernel stack four softirq queues (RSS
 	// multi-queue) and a polling receiver — the fairest fight the kernel
 	// can put up without rewriting its per-packet path. It narrows the RX
 	// gap but does not close it: the per-packet stack cost just moves.
 	mq := arch.WorldConfig{KernQueues: 4}
-	row := E1Row{Arch: "kernelstack-4q", Transfers: 2}
-	row.ThrBareGbps, row.CPUPerGbit = e1Throughput(arch.New("kernelstack", mq), 1460, false, scale)
-	row.Thr64Gbps, _ = e1Throughput(arch.New("kernelstack", mq), 64, false, scale)
-	row.ThrPolicyGbps, _ = e1Throughput(arch.New("kernelstack", mq), 1460, true, scale)
-	row.ThrRxGbps = e1RxThroughputPolled(arch.New("kernelstack", mq), scale)
-	row.RTT50, row.RTT99 = e1RTT(arch.New("kernelstack", mq), scale)
-	rows = append(rows, row)
+	row := &rows[len(names)]
+	row.Arch = "kernelstack-4q"
+	row.Transfers = 2
+	r.Go(func() {
+		row.ThrBareGbps, row.CPUPerGbit = e1Throughput(arch.New("kernelstack", mq), 1460, false, scale)
+	})
+	r.Go(func() { row.Thr64Gbps, _ = e1Throughput(arch.New("kernelstack", mq), 64, false, scale) })
+	r.Go(func() { row.ThrPolicyGbps, _ = e1Throughput(arch.New("kernelstack", mq), 1460, true, scale) })
+	r.Go(func() { row.ThrRxGbps = e1RxThroughputPolled(arch.New("kernelstack", mq), scale) })
+	r.Go(func() { row.RTT50, row.RTT99 = e1RTT(arch.New("kernelstack", mq), scale) })
+	r.Wait()
 
 	t := stats.NewTable("E1: dataplane cost by architecture (single app)",
 		"arch", "transfers", "tx1460(Gbps)", "tx+policy(Gbps)", "tx64(Gbps)",

@@ -67,12 +67,31 @@ func RunE2(scale Scale) (*E2Result, *stats.Table) {
 	for _, s := range res.Scenarios {
 		res.Cells[s] = map[string]CapLevel{}
 	}
-	for _, name := range arch.Names() {
-		res.Cells["debugging"][name] = e2Debugging(name, scale)
-		res.Cells["port-partition"][name] = e2PortPartition(name, scale)
-		res.Cells["scheduling"][name] = e2Scheduling(name)
-		res.Cells["qos"][name] = e2QoS(name, scale)
-		res.Cells["ping"][name] = e2Ping(name)
+	// Each cell runs its scenario in a fresh world, so the whole matrix
+	// fans out. Tasks write into a slot matrix (maps are not safe for
+	// concurrent writes); the maps are assembled after the Wait.
+	cells := map[string]func(string) CapLevel{
+		"debugging":      func(n string) CapLevel { return e2Debugging(n, scale) },
+		"port-partition": func(n string) CapLevel { return e2PortPartition(n, scale) },
+		"scheduling":     e2Scheduling,
+		"qos":            func(n string) CapLevel { return e2QoS(n, scale) },
+		"ping":           e2Ping,
+	}
+	levels := make([][]CapLevel, len(res.Scenarios))
+	r := NewRunner()
+	for i, s := range res.Scenarios {
+		levels[i] = make([]CapLevel, len(res.Archs))
+		run := cells[s]
+		for j, name := range res.Archs {
+			i, j, name := i, j, name
+			r.Go(func() { levels[i][j] = run(name) })
+		}
+	}
+	r.Wait()
+	for i, s := range res.Scenarios {
+		for j, name := range res.Archs {
+			res.Cells[s][name] = levels[i][j]
+		}
 	}
 
 	t := stats.NewTable("E2: §2 management scenarios by architecture (behavioral)",

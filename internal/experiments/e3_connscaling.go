@@ -35,16 +35,21 @@ func RunE3(scale Scale) ([]E3Point, *stats.Table) {
 	if scale < 0.5 {
 		sweep = []int{64, 512, 1024, 2048, 4096}
 	}
-	points := make([]E3Point, 0, len(sweep))
-	for _, n := range sweep {
-		pt := E3Point{Conns: n}
-		pt.DefaultGbps, pt.DefaultMissFrac = e3Run(n, e3Variant{ddioWays: 2}, scale)
-		pt.DDIO0Gbps, _ = e3Run(n, e3Variant{ddioWays: 0}, scale)
-		pt.DDIO4Gbps, _ = e3Run(n, e3Variant{ddioWays: 4}, scale)
-		pt.IdealGbps, _ = e3Run(n, e3Variant{noLLC: true}, scale)
-		pt.SharedGbps, _ = e3Run(n, e3Variant{ddioWays: 2, sharedRings: 16}, scale)
-		points = append(points, pt)
+	// Every (connection count, variant) cell is an isolated world: fan all
+	// of them out and write each result into its own slot, so the table is
+	// byte-identical at any worker count.
+	points := make([]E3Point, len(sweep))
+	r := NewRunner()
+	for i, n := range sweep {
+		i, n := i, n
+		points[i].Conns = n
+		r.Go(func() { points[i].DefaultGbps, points[i].DefaultMissFrac = e3Run(n, e3Variant{ddioWays: 2}, scale) })
+		r.Go(func() { points[i].DDIO0Gbps, _ = e3Run(n, e3Variant{ddioWays: 0}, scale) })
+		r.Go(func() { points[i].DDIO4Gbps, _ = e3Run(n, e3Variant{ddioWays: 4}, scale) })
+		r.Go(func() { points[i].IdealGbps, _ = e3Run(n, e3Variant{noLLC: true}, scale) })
+		r.Go(func() { points[i].SharedGbps, _ = e3Run(n, e3Variant{ddioWays: 2, sharedRings: 16}, scale) })
 	}
+	r.Wait()
 
 	t := stats.NewTable("E3: RX goodput vs concurrent connections (1460B, offered at line rate)",
 		"conns", "per-conn rings (Gbps)", "ddio off", "ddio 4-way", "no-cache ideal", "16 shared rings", "desc miss frac")

@@ -45,15 +45,19 @@ type E4Result struct {
 func RunE4(scale Scale) (*E4Result, *stats.Table) {
 	res := &E4Result{YearlyUpdates: 377 + 249}
 
-	for _, n := range []int{1, 16, 64, 256, 1024} {
-		res.Loads = append(res.Loads, e4Load(n))
+	// Loads and disruption runs are each their own quiet world; fan out.
+	ruleCounts := []int{1, 16, 64, 256, 1024}
+	res.Loads = make([]E4LoadPoint, len(ruleCounts))
+	res.Disruptions = make([]E4Disruption, 3)
+	r := NewRunner()
+	for i, n := range ruleCounts {
+		i, n := i, n
+		r.Go(func() { res.Loads[i] = e4Load(n) })
 	}
-
-	res.Disruptions = append(res.Disruptions,
-		e4Disrupt("overlay-reload", false, scale),
-		e4Disrupt("bitstream-respin", true, scale),
-		e4KernelRuleUpdate(scale),
-	)
+	r.Go(func() { res.Disruptions[0] = e4Disrupt("overlay-reload", false, scale) })
+	r.Go(func() { res.Disruptions[1] = e4Disrupt("bitstream-respin", true, scale) })
+	r.Go(func() { res.Disruptions[2] = e4KernelRuleUpdate(scale) })
+	r.Wait()
 
 	t := stats.NewTable("E4a: overlay program load latency vs compiled rule count",
 		"rules", "instructions", "load latency")

@@ -47,10 +47,31 @@ type E5Result struct {
 // the aggregate degrades gracefully instead of flat-lining.
 func RunE5(scale Scale) (*E5Result, *stats.Table) {
 	res := &E5Result{}
-	for _, offered := range []int{128, 256, 384, 512, 768} {
-		res.Points = append(res.Points, e5Run(offered, scale))
+	sweep := []int{128, 256, 384, 512, 768}
+	res.Points = make([]E5Point, len(sweep))
+	r := NewRunner()
+	for i, offered := range sweep {
+		i, offered := i, offered
+		// The two passes (no fallback / fallback) are separate worlds too;
+		// split them so they land on different cores.
+		res.Points[i].Offered = offered
+		r.Go(func() {
+			ag, _, _, accepted := e5Traffic(offered, false, scale)
+			res.Points[i].AggregateNoFallbackGbps = ag
+			res.Points[i].Accepted = accepted
+			res.Points[i].FailedConns = offered - accepted
+		})
+		r.Go(func() {
+			ag, fast, slow, _ := e5Traffic(offered, true, scale)
+			res.Points[i].AggregateFallbackGbps = ag
+			res.Points[i].FastGbps = fast
+			res.Points[i].SlowGbps = slow
+		})
 	}
-	res.TableCapacity, res.TableInserted, res.TableRejected = e5TableFill()
+	r.Go(func() {
+		res.TableCapacity, res.TableInserted, res.TableRejected = e5TableFill()
+	})
+	r.Wait()
 
 	t := stats.NewTable("E5: NIC SRAM exhaustion (budget ~64KB ≈ 300 conns), inbound 1460B",
 		"offered conns", "accepted", "failed (no fallback)", "agg no-fallback (Gbps)",
@@ -68,26 +89,6 @@ func RunE5(scale Scale) (*E5Result, *stats.Table) {
 // e5Budget sizes the NIC SRAM so roughly 300 connections fit (192B context
 // + 16B steering entry each).
 const e5Budget = 64 << 10
-
-func e5Run(offered int, scale Scale) E5Point {
-	pt := E5Point{Offered: offered}
-
-	// Pass 1: no fallback.
-	{
-		ag, _, _, accepted := e5Traffic(offered, false, scale)
-		pt.AggregateNoFallbackGbps = ag
-		pt.Accepted = accepted
-		pt.FailedConns = offered - accepted
-	}
-	// Pass 2: kernel slow-path fallback.
-	{
-		ag, fast, slow, _ := e5Traffic(offered, true, scale)
-		pt.AggregateFallbackGbps = ag
-		pt.FastGbps = fast
-		pt.SlowGbps = slow
-	}
-	return pt
-}
 
 // e5Traffic opens `offered` connections on a KOPI world with a tiny SRAM
 // budget and measures delivered goodput, split by path.

@@ -44,28 +44,37 @@ type E6Result struct {
 // it cannot (hypervisor), and be unconfigurable on raw bypass. The DRR
 // column is the hardware-friendly scheduler ablation.
 func RunE6(scale Scale) (*E6Result, *stats.Table) {
-	res := &E6Result{}
-	for _, name := range arch.Names() {
-		for _, weight := range []float64{2, 3, 8} {
-			row := E6Row{Arch: name, Weight: weight}
-			r, err := runQoSShare(name, weight, scale, "wfq")
-			if err != nil {
-				row.Err = errString(err)
-			} else {
+	names := arch.Names()
+	weights := []float64{2, 3, 8}
+	res := &E6Result{
+		Fairness: make([]E6Row, len(names)*len(weights)),
+		Game:     make([]E6Game, len(names)),
+	}
+	pool := NewRunner()
+	for i, name := range names {
+		for j, weight := range weights {
+			row := &res.Fairness[i*len(weights)+j]
+			name, weight := name, weight
+			row.Arch = name
+			row.Weight = weight
+			pool.Go(func() {
+				r, err := runQoSShare(name, weight, scale, "wfq")
+				if err != nil {
+					row.Err = errString(err)
+					return
+				}
 				row.AchievedWFQ = r
-			}
-			if row.Err == "" {
-				r2, err := runQoSShare(name, weight, scale, "drr")
-				if err == nil {
+				if r2, err := runQoSShare(name, weight, scale, "drr"); err == nil {
 					row.AchievedDRR = r2
 				}
-			}
-			res.Fairness = append(res.Fairness, row)
+			})
 		}
 	}
-	for _, name := range arch.Names() {
-		res.Game = append(res.Game, e6Game(name, scale))
+	for i, name := range names {
+		i, name := i, name
+		pool.Go(func() { res.Game[i] = e6Game(name, scale) })
 	}
+	pool.Wait()
 
 	t := stats.NewTable("E6a: achieved share ratio (backup:game) vs configured weight",
 		"arch", "weight", "wfq achieved", "drr achieved", "error")

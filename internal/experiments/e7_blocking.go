@@ -29,19 +29,29 @@ type E7Row struct {
 // core.
 func RunE7(scale Scale) ([]E7Row, *stats.Table) {
 	rates := []int{10_000, 100_000, 1_000_000}
-	var rows []E7Row
-	for _, name := range arch.Names() {
-		for _, mode := range []arch.RxMode{arch.RxPoll, arch.RxBlock} {
+	names := arch.Names()
+	modes := []arch.RxMode{arch.RxPoll, arch.RxBlock}
+	// One isolated world per (arch, mode, rate) cell: fan them all out.
+	rows := make([]E7Row, len(names)*len(modes)*len(rates)+len(rates))
+	pool := NewRunner()
+	slot := 0
+	for _, name := range names {
+		for _, mode := range modes {
 			for _, rate := range rates {
-				rows = append(rows, e7Run(name, mode, rate, 0, scale))
+				i, name, mode, rate := slot, name, mode, rate
+				slot++
+				pool.Go(func() { rows[i] = e7Run(name, mode, rate, 0, scale) })
 			}
 		}
 	}
 	// KOPI's §4.3 interrupt-moderation knob: blocking with a coalescing
 	// window, trading a bounded latency increase for far fewer interrupts.
 	for _, rate := range rates {
-		rows = append(rows, e7Run("kopi", arch.RxBlock, rate, 50*sim.Microsecond, scale))
+		i, rate := slot, rate
+		slot++
+		pool.Go(func() { rows[i] = e7Run("kopi", arch.RxBlock, rate, 50*sim.Microsecond, scale) })
 	}
+	pool.Wait()
 	t := stats.NewTable("E7: CPU cost of receive readiness (256B inbound, Poisson)",
 		"arch", "mode", "rate (pps)", "cores burned", "p50 latency", "delivered")
 	for _, r := range rows {

@@ -43,13 +43,22 @@ type E8Result struct {
 // ablation shows why on-NIC enforcement wants exact-match tables: linear
 // evaluation cost grows with the rule count, the compiled path does not.
 func RunE8(scale Scale) (*E8Result, *stats.Table) {
-	res := &E8Result{}
-	for _, name := range arch.Names() {
-		res.Enforcement = append(res.Enforcement, e8Enforce(name, scale))
+	names := arch.Names()
+	ruleCounts := []int{16, 128, 1024}
+	res := &E8Result{
+		Enforcement: make([]E8Row, len(names)),
+		Classifier:  make([]E8Classifier, len(ruleCounts)),
 	}
-	for _, n := range []int{16, 128, 1024} {
-		res.Classifier = append(res.Classifier, e8Classify(n))
+	pool := NewRunner()
+	for i, name := range names {
+		i, name := i, name
+		pool.Go(func() { res.Enforcement[i] = e8Enforce(name, scale) })
 	}
+	for i, n := range ruleCounts {
+		i, n := i, n
+		pool.Go(func() { res.Classifier[i] = e8Classify(n) })
+	}
+	pool.Wait()
 
 	t := stats.NewTable("E8a: port-partition enforcement under spoofing (uid/cmd owner rules)",
 		"arch", "policy installed", "legit delivered", "violations escaped")

@@ -3,6 +3,21 @@
 // time, and returns both a typed result (asserted by tests and benches) and
 // a formatted table matching the claim it reproduces. cmd/kopibench and the
 // top-level bench targets are thin wrappers over these drivers.
+//
+// # Parallel execution
+//
+// Every point in a driver's sweep is an isolated world simulation, so the
+// drivers fan points out over a bounded worker pool (see runner.go;
+// configure with SetWorkers or NORMAN_WORKERS, default GOMAXPROCS). The
+// harness contract that keeps results byte-identical at any pool width:
+//
+//   - a task must build its world(s) inside the task, never share one;
+//   - all randomness comes from sim.NewRNG with seeds fixed by the task's
+//     identity (component label + constants), never from global state;
+//   - each task writes only its own pre-allocated result slot, and the
+//     caller reads results only after Runner.Wait.
+//
+// TestParallelDeterminism enforces the contract end to end.
 package experiments
 
 import (

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// The experiment drivers are sweeps of mutually independent world
+// simulations: every point builds its own arch.World with its own engine,
+// RNG streams (seeded from fixed per-component constants), and memory, so
+// points share no state and can run on any schedule. The Runner fans them
+// out across cores while the drivers write each result into a
+// pre-allocated slot — output order, and therefore every table byte, is
+// identical whether the pool has 1 worker or NumCPU.
+
+// workersMu guards the package worker setting; drivers snapshot it once per
+// NewRunner call.
+var workersMu sync.Mutex
+
+// workers is the configured pool width: 0 means "resolve a default"
+// (NORMAN_WORKERS env, else GOMAXPROCS).
+var workers int
+
+// SetWorkers configures how many worlds the experiment drivers simulate
+// concurrently and returns the previous setting. n <= 0 restores the
+// default (the NORMAN_WORKERS environment variable if set, else
+// GOMAXPROCS). n == 1 forces fully sequential, in-caller execution.
+// Results are deterministic at any width; only wall-clock changes.
+func SetWorkers(n int) (prev int) {
+	workersMu.Lock()
+	defer workersMu.Unlock()
+	prev = workers
+	if n < 0 {
+		n = 0
+	}
+	workers = n
+	return prev
+}
+
+// Workers reports the pool width NewRunner will use right now, with
+// defaults resolved.
+func Workers() int {
+	workersMu.Lock()
+	n := workers
+	workersMu.Unlock()
+	return resolveWorkers(n)
+}
+
+func resolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if s := os.Getenv("NORMAN_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Runner is a bounded worker pool for independent simulation runs. Zero
+// value is not usable; construct with NewRunner. Typical driver shape:
+//
+//	points := make([]Point, len(sweep))
+//	r := NewRunner()
+//	for i, n := range sweep {
+//		i, n := i, n
+//		r.Go(func() { points[i] = measure(n) })
+//	}
+//	r.Wait()
+//
+// Each task must write only its own slot; the Wait establishes the
+// happens-before edge that makes those writes visible to the caller.
+type Runner struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewRunner returns a pool bounded at the configured width (SetWorkers /
+// NORMAN_WORKERS / GOMAXPROCS, in that precedence).
+func NewRunner() *Runner {
+	return NewRunnerN(Workers())
+}
+
+// NewRunnerN returns a pool bounded at exactly n concurrent tasks (n < 1 is
+// treated as 1). With n == 1 tasks run inline on the calling goroutine, so
+// sequential mode has zero scheduling overhead and an identical stack shape
+// to the pre-pool drivers.
+func NewRunnerN(n int) *Runner {
+	if n < 1 {
+		n = 1
+	}
+	r := &Runner{}
+	if n > 1 {
+		r.sem = make(chan struct{}, n)
+	}
+	return r
+}
+
+// Go schedules fn. It blocks while the pool is saturated — the callers are
+// sweep loops, so backpressure (not an unbounded goroutine pile) is the
+// right behavior.
+func (r *Runner) Go(fn func()) {
+	if r.sem == nil {
+		fn()
+		return
+	}
+	r.sem <- struct{}{}
+	r.wg.Add(1)
+	go func() {
+		defer func() {
+			<-r.sem
+			r.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every scheduled task has finished.
+func (r *Runner) Wait() {
+	if r.sem == nil {
+		return
+	}
+	r.wg.Wait()
+}

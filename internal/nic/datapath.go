@@ -193,19 +193,19 @@ func (n *NIC) drainTx(c *Conn) {
 	})
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // txSlotFree releases one staging-buffer slot and resumes a stalled queue.
+// The stall queue pops by copy+truncate so the backing array is reused and
+// never retains pointers to connections already resumed (a `q = q[1:]`
+// re-slice would keep every popped *Conn reachable for the array's
+// lifetime).
 func (n *NIC) txSlotFree() {
 	n.txInflight--
 	for len(n.txStalled) > 0 {
 		c := n.txStalled[0]
-		n.txStalled = n.txStalled[1:]
+		last := len(n.txStalled) - 1
+		copy(n.txStalled, n.txStalled[1:])
+		n.txStalled[last] = nil
+		n.txStalled = n.txStalled[:last]
 		c.txStalled = false
 		if c.txDraining {
 			n.drainTx(c)

@@ -1,0 +1,15 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: build, vet, the tier-1 test
+# suite, and a race-detector pass over the packages that run worlds on
+# parallel goroutines (the experiment harness worker pool and the engines it
+# fans out). `make check` wraps this.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+# The pool defaults to GOMAXPROCS workers; force a wide pool so the race
+# pass exercises real interleavings even on small machines.
+NORMAN_WORKERS=8 go test -race -count=1 ./internal/sim/... ./internal/experiments/...
