@@ -93,3 +93,12 @@ func BenchmarkE8OwnerFilter(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE9Faults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE9(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl)
+		}
+	}
+}

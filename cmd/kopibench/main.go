@@ -1,4 +1,4 @@
-// Command kopibench regenerates the paper-reproduction experiments (E1–E8
+// Command kopibench regenerates the paper-reproduction experiments (E1–E9
 // in DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -58,6 +58,8 @@ var registry = map[string]struct {
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE7(s); return t }},
 	"E8": {"owner-based filtering under spoofing + classifier ablation",
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE8(s); return t }},
+	"E9": {"degradation under injected faults (wire/NIC/overlay), seeded by NORMAN_FAULT_SEED",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE9(s); return t }},
 }
 
 // benchRecord is one experiment's perf baseline, serialized to
@@ -82,7 +84,7 @@ type engineRecord struct {
 }
 
 func main() {
-	exp := flag.String("e", "", "experiment id (E1..E8); empty = all")
+	exp := flag.String("e", "", "experiment id (E1..E9); empty = all")
 	scale := flag.Float64("scale", 1.0, "duration/sweep scale factor (1.0 = full)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Bool("parallel", false, "fan each experiment's independent worlds across all cores")

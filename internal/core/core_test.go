@@ -104,7 +104,7 @@ func TestSamplingMirrorProgram(t *testing.T) {
 	mirrored := 0
 	env := &countEnv{onMirror: func() { mirrored++ }}
 	for i := 0; i < 64; i++ {
-		if v, _ := m.Run(udpTo(80), env); v != overlay.VerdictPass {
+		if v, _, _ := m.Run(udpTo(80), env); v != overlay.VerdictPass {
 			t.Fatal("sampling must never drop")
 		}
 	}
@@ -121,17 +121,17 @@ func TestPortMeterProgram(t *testing.T) {
 	}
 	m := overlay.NewMachine(prog)
 	env := overlay.NopEnv{Time: 0}
-	if v, _ := m.Run(udpTo(7777), env); v != overlay.VerdictPass {
+	if v, _, _ := m.Run(udpTo(7777), env); v != overlay.VerdictPass {
 		t.Fatal("burst frame passes")
 	}
-	if v, _ := m.Run(udpTo(7777), env); v != overlay.VerdictDrop {
+	if v, _, _ := m.Run(udpTo(7777), env); v != overlay.VerdictDrop {
 		t.Fatal("second frame sheds")
 	}
 	if m.Counter("shed") != 1 {
 		t.Fatalf("shed = %d", m.Counter("shed"))
 	}
 	// Other ports are untouched.
-	if v, _ := m.Run(udpTo(80), env); v != overlay.VerdictPass {
+	if v, _, _ := m.Run(udpTo(80), env); v != overlay.VerdictPass {
 		t.Fatal("other ports pass")
 	}
 }
@@ -197,13 +197,13 @@ func TestDeployChainsWithExtraStage(t *testing.T) {
 	mirrored := 0
 	env := &countEnv{onMirror: func() { mirrored++ }}
 
-	if v, _ := m.Run(udpTo(53), env); v != overlay.VerdictDrop {
+	if v, _, _ := m.Run(udpTo(53), env); v != overlay.VerdictDrop {
 		t.Fatal("firewall stage still drops")
 	}
 	if mirrored != 0 {
 		t.Fatal("dropped packets must not reach the sampler")
 	}
-	if v, _ := m.Run(udpTo(80), env); v != overlay.VerdictPass {
+	if v, _, _ := m.Run(udpTo(80), env); v != overlay.VerdictPass {
 		t.Fatal("pass flows into the sampler")
 	}
 	if mirrored != 1 {

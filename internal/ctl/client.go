@@ -5,37 +5,108 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"time"
+
+	"norman/internal/faults"
 )
+
+// DialConfig bounds how long a tool will wait on the control socket. The
+// zero value means defaults; normand restarting or wedging should cost a
+// tool seconds, not a hung terminal.
+type DialConfig struct {
+	// Timeout bounds one connect attempt (default 2s).
+	Timeout time.Duration
+	// Retries is how many additional connect attempts follow a failure
+	// (default 3; negative = none). Attempts are spaced by capped
+	// exponential backoff with deterministic jitter.
+	Retries int
+	// BackoffBase and BackoffMax shape the retry schedule
+	// (defaults 50ms base, 1s cap).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RequestTimeout bounds one Call round-trip (default 10s).
+	RequestTimeout time.Duration
+	// Seed drives the backoff jitter so outage tests replay exactly.
+	Seed int64
+}
+
+func (c DialConfig) withDefaults() DialConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	return c
+}
 
 // Client is a tool-side connection to normand.
 type Client struct {
 	conn net.Conn
 	rd   *bufio.Reader
+	cfg  DialConfig
 }
 
-// Dial connects to the daemon's control socket.
+// Dial connects to the daemon's control socket with default timeouts.
 func Dial(path string) (*Client, error) {
+	return DialWith(path, DialConfig{})
+}
+
+// DialWith connects with explicit timeout/backoff behavior. A dead or
+// missing socket fails each attempt fast; a present-but-unresponsive one
+// fails at cfg.Timeout; the schedule between attempts is
+// faults.Backoff(base, max, attempt, seed).
+func DialWith(path string, cfg DialConfig) (*Client, error) {
 	if path == "" {
 		path = DefaultSocket
 	}
-	conn, err := net.Dial("unix", path)
-	if err != nil {
-		return nil, fmt.Errorf("ctl: dialing %s (is normand running?): %w", path, err)
+	cfg = cfg.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(faults.Backoff(cfg.BackoffBase, cfg.BackoffMax, attempt-1, cfg.Seed))
+		}
+		conn, err := net.DialTimeout("unix", path, cfg.Timeout)
+		if err == nil {
+			return &Client{conn: conn, rd: bufio.NewReaderSize(conn, 1<<20), cfg: cfg}, nil
+		}
+		lastErr = err
 	}
-	return &Client{conn: conn, rd: bufio.NewReaderSize(conn, 1<<20)}, nil
+	return nil, fmt.Errorf("ctl: dialing %s after %d attempts (is normand running?): %w",
+		path, cfg.Retries+1, lastErr)
 }
 
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 // Call performs one request and decodes the response payload into out
-// (which may be nil).
+// (which may be nil). The round-trip is bounded by the client's
+// RequestTimeout; a wedged daemon surfaces as a deadline error instead of a
+// hang.
 func (c *Client) Call(op string, args, out interface{}) error {
 	req, err := Marshal(op, args)
 	if err != nil {
 		return err
 	}
 	req = append(req, '\n')
+	if c.cfg.RequestTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout)); err != nil {
+			return fmt.Errorf("ctl: arming deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if _, err := c.conn.Write(req); err != nil {
 		return fmt.Errorf("ctl: write: %w", err)
 	}

@@ -1,0 +1,142 @@
+package ctl
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"norman"
+)
+
+// TestDialWithRetriesThroughOutage: the daemon comes up only after the
+// client's first attempts fail — the retry/backoff schedule must ride the
+// outage out and connect, rather than give up on the first refused dial.
+func TestDialWithRetriesThroughOutage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ctl.sock")
+
+	srv := NewServer(norman.New(norman.KOPI))
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		_ = srv.Listen(path)
+	}()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	c, err := DialWith(path, DialConfig{
+		Timeout:     time.Second,
+		Retries:     6,
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  200 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatalf("dial through outage: %v", err)
+	}
+	defer c.Close()
+	var st StatusData
+	if err := c.Call(OpStatus, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialGivesUpBounded: with no daemon ever appearing, DialWith fails after
+// its retry budget instead of hanging, and the error says how hard it tried.
+func TestDialGivesUpBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.sock")
+	start := time.Now()
+	_, err := DialWith(path, DialConfig{
+		Timeout:     200 * time.Millisecond,
+		Retries:     2,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("dial to a dead socket must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("give-up took %v", elapsed)
+	}
+}
+
+// TestCallTimesOutOnUnresponsiveServer: a listener that accepts but never
+// answers must cost the client RequestTimeout, not a wedged tool.
+func TestCallTimesOutOnUnresponsiveServer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mute.sock")
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Read and drop everything; never reply.
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	c, err := DialWith(path, DialConfig{RequestTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	err = c.Call(OpStatus, nil, nil)
+	if err == nil {
+		t.Fatal("call to a mute server must fail")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestListenReturnsNilOnClose: a graceful shutdown is not an error — normand
+// distinguishes "operator stopped me" (exit 0) from a listener failure
+// (exit nonzero).
+func TestListenReturnsNilOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "close.sock")
+	srv := NewServer(norman.New(norman.KOPI))
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Listen(path) }()
+
+	// Wait for the socket to exist, then close gracefully.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("socket never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful close must return nil, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Listen did not return after Close")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"norman"
 	"norman/internal/sniff"
@@ -28,7 +29,8 @@ type Server struct {
 	capture *norman.Capture
 	tcDesc  string
 
-	ln net.Listener
+	ln     net.Listener
+	closed atomic.Bool
 }
 
 // NewServer wraps a system.
@@ -37,7 +39,9 @@ func NewServer(sys *norman.System) *Server {
 }
 
 // Listen binds the Unix socket (removing a stale one) and serves until the
-// listener is closed.
+// listener fails or Close is called. A graceful Close returns nil; any other
+// listener error is returned so normand can exit nonzero instead of limping
+// on without a control plane.
 func (s *Server) Listen(path string) error {
 	_ = os.Remove(path)
 	ln, err := net.Listen("unix", path)
@@ -48,14 +52,18 @@ func (s *Server) Listen(path string) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return err
+			if s.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("ctl: accept: %w", err)
 		}
 		go s.serveConn(conn)
 	}
 }
 
-// Close stops the listener.
+// Close stops the listener; a Listen blocked in Accept returns nil.
 func (s *Server) Close() error {
+	s.closed.Store(true)
 	if s.ln != nil {
 		return s.ln.Close()
 	}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"norman/internal/arch"
+	"norman/internal/faults"
+	"norman/internal/filter"
+	"norman/internal/host"
+	"norman/internal/nic"
+	"norman/internal/packet"
+	"norman/internal/sim"
+	"norman/internal/stats"
+	"norman/internal/transport"
+)
+
+// e9Horizon is E9's fixed virtual-time window. It must exceed the worst-case
+// give-up time of the default transport RTO schedule (~4.1 s under a total
+// blackhole) so every stream reaches a terminal state inside the run.
+const e9Horizon = 6 * sim.Second
+
+// e9Streams is the concurrent transfers per world.
+const e9Streams = 4
+
+// DefaultFaultSeed seeds the E9 fault processes when NORMAN_FAULT_SEED is
+// unset.
+const DefaultFaultSeed = 42
+
+// FaultSeed resolves the fault-injection seed from NORMAN_FAULT_SEED. The
+// same seed replays the same fault pattern — and therefore the same E9
+// table — at any worker width.
+func FaultSeed() int64 {
+	if v := os.Getenv("NORMAN_FAULT_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return DefaultFaultSeed
+}
+
+// E9Row is one (architecture, fault level) cell of the degradation table.
+type E9Row struct {
+	Arch     string
+	FaultPct float64 // headline fault intensity (loss probability ×100)
+
+	Completed int // streams that finished
+	Aborted   int // streams that gave up (bounded, not livelocked)
+
+	GoodputGbps float64 // aggregate acked bytes over the busy window
+
+	Retransmits uint64
+	Timeouts    uint64
+
+	TrapFallbacks uint64 // overlay traps absorbed by last-good fallback
+	WireLost      uint64 // frames eaten in flight (loss + corruption), both dirs
+	WireDup       uint64
+	WireReordered uint64
+	RxFifoDrops   uint64 // NIC ingress FIFO overflow under pressure bursts
+
+	// TerminalAt is when the last stream reached a terminal state — the
+	// bounded-degradation claim: finite even at 100% loss.
+	TerminalAt sim.Duration
+}
+
+// RunE9 measures graceful degradation under injected faults: the same
+// workload swept across architecture × fault intensity, with wire loss /
+// corruption / reordering / duplication on both directions, periodic NIC
+// ring-pressure bursts, and (where an overlay exists) a runtime trap
+// mid-run. The claim under test is the robustness half of interposition:
+// faults must degrade goodput, never wedge the simulation — every stream
+// completes or aborts in bounded virtual time, and an overlay trap is
+// absorbed by the last-good chain instead of killing the dataplane.
+func RunE9(scale Scale) ([]E9Row, *stats.Table) {
+	archs := []string{"kernelstack", "bypass", "kopi"}
+	pcts := []float64{0, 0.5, 2, 10, 100}
+	seed := FaultSeed()
+	total := uint32(scale.n(256<<10, 16<<10))
+
+	rows := make([]E9Row, len(archs)*len(pcts))
+	r := NewRunner()
+	for ai, name := range archs {
+		for pi, pct := range pcts {
+			row := &rows[ai*len(pcts)+pi]
+			row.Arch = name
+			row.FaultPct = pct
+			name, pct := name, pct
+			r.Go(func() { e9Point(name, pct, seed, total, row) })
+		}
+	}
+	r.Wait()
+
+	t := stats.NewTable("E9: degradation under injected faults (4 streams, seed "+strconv.FormatInt(seed, 10)+")",
+		"arch", "fault%", "done", "aborted", "goodput(Gbps)", "rexmit", "timeouts",
+		"trapFB", "wireLost", "wireDup", "fifoDrop", "terminal")
+	for _, r := range rows {
+		t.AddRow(r.Arch, fmt.Sprintf("%g", r.FaultPct), r.Completed, r.Aborted,
+			r.GoodputGbps, r.Retransmits, r.Timeouts, r.TrapFallbacks,
+			r.WireLost, r.WireDup, r.RxFifoDrops, r.TerminalAt.String())
+	}
+	return rows, t
+}
+
+// e9Point runs one world: an architecture at one fault intensity.
+func e9Point(name string, pct float64, seed int64, total uint32, row *E9Row) {
+	a := arch.New(name, arch.WorldConfig{})
+	w := a.World()
+
+	wire := faults.WireConfig{
+		Loss:      pct / 100,
+		Reorder:   pct / 200,
+		Duplicate: pct / 400,
+		Corrupt:   pct / 400,
+	}
+	cfg := faults.Config{
+		Seed:  seed,
+		Label: fmt.Sprintf("e9.%s.%g", name, pct),
+		Tx:    wire,
+		Rx:    wire,
+	}
+	if pct > 0 {
+		cfg.Ring = faults.RingConfig{
+			Period:    500 * sim.Microsecond,
+			Burst:     50 * sim.Microsecond,
+			Window:    1,
+			DDIOLines: 64,
+		}
+	}
+	inj := faults.New(w.Eng, w.NIC, w.LLC, cfg)
+
+	// Peer side: per-stream responders (each reassembles one sequence
+	// space), all fed from the wire, with their ACK path routed back through
+	// the Rx fault model.
+	deliver := inj.WrapRx(func(p *packet.Packet) { a.DeliverWire(p) })
+	resps := make([]*transport.Responder, e9Streams)
+	for i := range resps {
+		resps[i] = transport.NewResponder(a, uint16(5900+i), seed+int64(i))
+		resps[i].Deliver = deliver
+	}
+	w.Peer = func(p *packet.Packet, at sim.Time) {
+		for _, resp := range resps {
+			resp.Recv(p, at)
+		}
+	}
+	inj.AttachTx()
+	inj.Start(sim.Time(e9Horizon))
+
+	// Where the architecture has an overlay dataplane, install a small
+	// firewall chain (two loads, so a last-good chain exists) and trap it
+	// mid-run: graceful degradation must absorb the trap, not wedge.
+	if pct > 0 {
+		for i := 0; i < 2; i++ {
+			rule := &filter.Rule{
+				Proto:    filter.Proto(packet.ProtoUDP),
+				DstPorts: filter.Port(uint16(20000 + i)),
+				Action:   filter.ActDrop,
+			}
+			if err := a.InstallRule(filter.HookOutput, rule); err != nil {
+				break // no interposition point (bypass): nothing to trap
+			}
+		}
+		if w.NIC.Machine(nic.Egress) != nil {
+			inj.ScheduleOverlayTrap(nic.Egress, sim.Time(50*sim.Microsecond), "e9 injected trap")
+		}
+	}
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "sender")
+	mux := host.NewMux(a)
+	streams := make([]*transport.Stream, e9Streams)
+	for i := range streams {
+		flow := packet.FlowKey{
+			Src: w.HostIP, Dst: w.PeerIP,
+			SrcPort: uint16(4001 + i), DstPort: uint16(5900 + i),
+			Proto: packet.ProtoTCP,
+		}
+		conn, err := a.Connect(proc, flow)
+		if err != nil {
+			panic("e9: connect: " + err.Error())
+		}
+		streams[i] = transport.New(a, conn, flow, mux, transport.Config{TotalBytes: total})
+		streams[i].Start()
+	}
+
+	w.Eng.RunUntil(sim.Time(e9Horizon))
+
+	var acked uint64
+	var last sim.Time
+	for _, s := range streams {
+		if s.Done() {
+			row.Completed++
+		}
+		if s.Aborted() {
+			row.Aborted++
+		}
+		acked += s.Stats.AckedBytes
+		row.Retransmits += s.Stats.Retransmits
+		row.Timeouts += s.Stats.Timeouts
+		if s.Terminal() && s.Stats.Finished > last {
+			last = s.Stats.Finished
+		}
+	}
+	if last == 0 {
+		last = sim.Time(e9Horizon) // a non-terminal stream: clamp to horizon
+	}
+	row.TerminalAt = last.Sub(0)
+	if last > 0 {
+		row.GoodputGbps = float64(acked) * 8 / last.Sub(0).Seconds() / 1e9
+	}
+	row.TrapFallbacks = w.NIC.TrapFallbacks
+	row.WireLost = inj.Tx.Dropped() + inj.Rx.Dropped()
+	row.WireDup = inj.Tx.Duplicated + inj.Rx.Duplicated
+	row.WireReordered = inj.Tx.Reordered + inj.Rx.Reordered
+	row.RxFifoDrops = w.NIC.RxFifoDrop
+}

@@ -359,7 +359,7 @@ func TestCompileOverlayEquivalenceQuick(t *testing.T) {
 		}
 
 		res := eng.Evaluate(HookOutput, p.Clone())
-		v, _ := m.Run(p, overlay.NopEnv{})
+		v, _, _ := m.Run(p, overlay.NopEnv{})
 		wantDrop := res.Action != ActAccept
 		gotDrop := v == overlay.VerdictDrop
 		return wantDrop == gotDrop

@@ -135,7 +135,7 @@ func TestCompileOverlayRandomChainsEquivalent(t *testing.T) {
 			soft := p.Clone()
 			hard := p.Clone()
 			res := eng.Evaluate(HookOutput, soft)
-			v, _ := m.Run(hard, overlay.NopEnv{})
+			v, _, _ := m.Run(hard, overlay.NopEnv{})
 			if (res.Action != ActAccept) != (v == overlay.VerdictDrop) {
 				t.Logf("verdict mismatch: soft=%v hard=%v pkt=%+v chain=%v",
 					res.Action, v, p, chain.Rules)

@@ -162,7 +162,10 @@ func (n *NIC) drainTx(c *Conn) {
 		_, pipeDone := n.pipeline.Acquire(now, n.pipeOccupancy(frame))
 		lat := sim.Duration(n.model.NICPipeline)
 		if n.egress != nil {
-			verdict, cycles := n.egress.Run(p, env{n: n, now: now, c: c})
+			verdict, cycles, trap := n.egress.Run(p, env{n: n, now: now, c: c})
+			if trap != nil {
+				verdict, cycles = n.trapFallback(Egress, p, env{n: n, now: now, c: c})
+			}
 			lat += n.model.NICCycles(cycles)
 			if verdict == overlay.VerdictDrop {
 				n.TxDropVerdict++
@@ -342,7 +345,10 @@ func (n *NIC) rxFrame(p *packet.Packet) {
 	}
 
 	if n.ingress != nil {
-		verdict, cycles := n.ingress.Run(p, env{n: n, now: now, c: c})
+		verdict, cycles, trap := n.ingress.Run(p, env{n: n, now: now, c: c})
+		if trap != nil {
+			verdict, cycles = n.trapFallback(Ingress, p, env{n: n, now: now, c: c})
+		}
 		lat += n.model.NICCycles(cycles)
 		if verdict == overlay.VerdictDrop {
 			n.RxDropVerdict++

@@ -145,6 +145,12 @@ type NIC struct {
 	ingress *overlay.Machine
 	egress  *overlay.Machine
 
+	// lastGood remembers, per pipeline, the previously installed program —
+	// the chain that was demonstrably processing traffic before the latest
+	// online reload (§4.4). When the current program traps at runtime, the
+	// NIC degrades by reinstalling a chain from here instead of wedging.
+	lastGood [2]*overlay.Program
+
 	sched      qos.Qdisc // egress scheduler; nil = pure FIFO via wire server
 	schedPump  bool
 	classifier func(*packet.Packet) uint32 // egress class assignment; nil = Meta.Class as-is
@@ -184,6 +190,10 @@ type NIC struct {
 	TxBytes       uint64
 	DMADescMiss   uint64
 	DMADescHit    uint64
+	// TrapFallbacks counts overlay runtime traps absorbed by falling back to
+	// the last-good chain (or failing open) instead of crashing — the
+	// graceful-degradation metric E9 reports.
+	TrapFallbacks uint64
 }
 
 // New builds a NIC.
@@ -383,3 +393,17 @@ func (n *NIC) BufAddr(c *Conn, index uint64, rx bool) uint64 {
 
 // Down reports whether the dataplane is inside a bitstream-reload outage.
 func (n *NIC) Down(now sim.Time) bool { return now.Before(n.outageUntil) }
+
+// RxWindow returns the ingress FIFO depth (frames in flight between the
+// wire and DMA completion before the MAC drops on the floor).
+func (n *NIC) RxWindow() int { return n.rxWindow }
+
+// SetRxWindow resizes the ingress FIFO depth. The fault-injection layer uses
+// it to model transient ring-overflow pressure (a misbehaving bus master or
+// PCIe credit stall shrinking effective buffering); values < 1 clamp to 1.
+func (n *NIC) SetRxWindow(depth int) {
+	if depth < 1 {
+		depth = 1
+	}
+	n.rxWindow = depth
+}

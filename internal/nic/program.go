@@ -46,11 +46,55 @@ func (n *NIC) LoadProgram(dir Direction, p *overlay.Program) (*overlay.Machine, 
 	load := sim.Duration(writes) * sim.Duration(n.model.MMIOWrite)
 	switch dir {
 	case Ingress:
+		if n.ingress != nil {
+			n.lastGood[Ingress] = n.ingress.Program()
+		}
 		n.ingress = m
 	case Egress:
+		if n.egress != nil {
+			n.lastGood[Egress] = n.egress.Program()
+		}
 		n.egress = m
 	}
 	return m, load, nil
+}
+
+// LastGood returns the fallback program a pipeline would degrade to after a
+// runtime trap (the chain installed before the most recent reload), or nil.
+func (n *NIC) LastGood(dir Direction) *overlay.Program { return n.lastGood[dir] }
+
+// trapFallback absorbs an overlay runtime trap on one pipeline: rather than
+// wedging (or crashing the simulation, as a panic would), the NIC reuses the
+// E4 online-reconfiguration machinery to swap the faulted machine out — for
+// the last-good chain when one exists, else for a fresh instance of the same
+// verified program (dynamic table state is sacrificed, exactly what a
+// hardware stage reset does). The trapped packet is re-run through the
+// replacement; if that also traps, the pipeline fails open with no program.
+// Each absorbed trap increments TrapFallbacks.
+func (n *NIC) trapFallback(dir Direction, p *packet.Packet, e env) (overlay.Verdict, int) {
+	n.TrapFallbacks++
+	var repl *overlay.Machine
+	if lg := n.lastGood[dir]; lg != nil {
+		repl = overlay.NewMachine(lg)
+	} else if cur := n.Machine(dir); cur != nil {
+		repl = overlay.NewMachine(cur.Program())
+	}
+	switch dir {
+	case Ingress:
+		n.ingress = repl
+	case Egress:
+		n.egress = repl
+	}
+	if repl == nil {
+		return overlay.VerdictPass, 0
+	}
+	v, cycles, trap := repl.Run(p, e)
+	if trap != nil {
+		n.TrapFallbacks++
+		n.UnloadProgram(dir)
+		return overlay.VerdictPass, 0
+	}
+	return v, cycles
 }
 
 // programSRAMDelta returns the SRAM change from replacing dir's program
@@ -101,6 +145,8 @@ func (n *NIC) ReloadBitstream(now sim.Time, d sim.Duration) sim.Time {
 	n.outageUntil = now.Add(d)
 	n.ingress = nil
 	n.egress = nil
+	n.lastGood[Ingress] = nil
+	n.lastGood[Egress] = nil
 	return n.outageUntil
 }
 

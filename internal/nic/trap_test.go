@@ -1,0 +1,120 @@
+package nic
+
+import (
+	"testing"
+
+	"norman/internal/overlay"
+	"norman/internal/packet"
+)
+
+// TestTrapFallsBackToLastGood is the NIC half of graceful degradation: a
+// runtime trap in the active overlay rolls the pipeline back to the chain
+// installed before the last reload (the E4 reconfig machinery in reverse),
+// and the trapped packet is decided by that last-good chain.
+func TestTrapFallsBackToLastGood(t *testing.T) {
+	n, eng := newNIC(1 << 20)
+	_, _ = n.OpenConn(1, packet.Meta{}, nil)
+	n.SetDefaultConn(1)
+
+	good, err := overlay.Assemble("good-drop80", "ldf r0, dst_port\njne r0, 80, ok\ndrop\nok:\npass\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.LoadProgram(Ingress, good); err != nil {
+		t.Fatal(err)
+	}
+	next, err := overlay.Assemble("next-passall", "pass\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := n.LoadProgram(Ingress, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg := n.LastGood(Ingress); lg != good {
+		t.Fatalf("LastGood = %v", lg)
+	}
+
+	m.InjectTrap("stage fault")
+	n.DeliverFromWire(udpTo(80)) // trapped run; last-good chain drops port 80
+	eng.Run()
+
+	if n.TrapFallbacks != 1 {
+		t.Fatalf("TrapFallbacks = %d", n.TrapFallbacks)
+	}
+	if cur := n.Machine(Ingress); cur == nil || cur.Program() != good {
+		t.Fatalf("pipeline did not fall back to last-good: %v", cur)
+	}
+	if n.RxDropVerdict != 1 {
+		t.Fatalf("trapped packet must be re-decided by last-good: drops = %d", n.RxDropVerdict)
+	}
+
+	// The fallback chain keeps running; no residual trap state.
+	n.DeliverFromWire(udpTo(81))
+	eng.Run()
+	c, _ := n.Conn(1)
+	if c.RxDelivered != 1 || n.TrapFallbacks != 1 {
+		t.Fatalf("post-fallback delivery = %d, fallbacks = %d", c.RxDelivered, n.TrapFallbacks)
+	}
+}
+
+// TestTrapWithoutLastGoodReinstalls covers the first-load case: no previous
+// chain exists, so the NIC swaps in a fresh instance of the same verified
+// program (a stage reset) rather than failing open outright.
+func TestTrapWithoutLastGoodReinstalls(t *testing.T) {
+	n, eng := newNIC(1 << 20)
+	_, _ = n.OpenConn(1, packet.Meta{}, nil)
+	n.SetDefaultConn(1)
+
+	prog, err := overlay.Assemble("only", "pass\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := n.LoadProgram(Ingress, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InjectTrap("")
+	n.DeliverFromWire(udpTo(80))
+	eng.Run()
+
+	if n.TrapFallbacks != 1 {
+		t.Fatalf("TrapFallbacks = %d", n.TrapFallbacks)
+	}
+	cur := n.Machine(Ingress)
+	if cur == nil || cur == m || cur.Program() != prog {
+		t.Fatalf("expected fresh machine for same program, got %v", cur)
+	}
+	c, _ := n.Conn(1)
+	if c.RxDelivered != 1 {
+		t.Fatalf("delivered = %d", c.RxDelivered)
+	}
+}
+
+// TestDoubleTrapFailsOpen: if the replacement chain also traps on the same
+// packet, the pipeline unloads entirely — fail open beats a trap loop.
+func TestDoubleTrapFailsOpen(t *testing.T) {
+	n, eng := newNIC(1 << 20)
+	_, _ = n.OpenConn(1, packet.Meta{}, nil)
+	n.SetDefaultConn(1)
+
+	// Hand-built (unverified) program that falls off the end: traps on
+	// every run, including the fallback's re-run.
+	bad := &overlay.Program{Name: "bad", Code: []overlay.Inst{{Op: overlay.OpNop}}}
+	if _, _, err := n.LoadProgram(Ingress, bad); err != nil {
+		t.Fatal(err)
+	}
+	n.DeliverFromWire(udpTo(80))
+	eng.Run()
+
+	if n.TrapFallbacks != 2 {
+		t.Fatalf("TrapFallbacks = %d", n.TrapFallbacks)
+	}
+	if n.Machine(Ingress) != nil {
+		t.Fatal("double trap must unload the pipeline")
+	}
+	c, _ := n.Conn(1)
+	if c.RxDelivered != 1 {
+		t.Fatalf("fail-open delivery = %d", c.RxDelivered)
+	}
+}

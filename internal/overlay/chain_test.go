@@ -25,14 +25,14 @@ pass
 	env := &recEnv{onMirror: func() { mirrored++ }, onNotify: func() {}}
 
 	// Dropped by stage 1: stage 2 never runs.
-	if v, _ := m.Run(udp(1, 80, 0), env); v != VerdictDrop {
+	if v, _, _ := m.Run(udp(1, 80, 0), env); v != VerdictDrop {
 		t.Fatal("stage 1 drop must be final")
 	}
 	if m.Counter("s1.seen") != 0 || mirrored != 0 {
 		t.Fatal("stage 2 must not run after a drop")
 	}
 	// Passed by stage 1: stage 2 counts and mirrors.
-	if v, _ := m.Run(udp(1, 443, 0), env); v != VerdictPass {
+	if v, _, _ := m.Run(udp(1, 443, 0), env); v != VerdictPass {
 		t.Fatal("pass flows through both stages")
 	}
 	if m.Counter("s1.seen") != 1 || mirrored != 1 {
@@ -87,7 +87,7 @@ pass
 	}
 	p := udp(1, 2, 0)
 	p.Meta.ConnID = 7
-	if v, _ := m.Run(p, NopEnv{}); v != VerdictPass {
+	if v, _, _ := m.Run(p, NopEnv{}); v != VerdictPass {
 		t.Fatal("allowed conn passes")
 	}
 	if p.Meta.Class != 5 {
@@ -95,7 +95,7 @@ pass
 	}
 	q := udp(1, 2, 0)
 	q.Meta.ConnID = 9
-	if v, _ := m.Run(q, NopEnv{}); v != VerdictDrop {
+	if v, _, _ := m.Run(q, NopEnv{}); v != VerdictDrop {
 		t.Fatal("unknown conn drops at stage 1")
 	}
 	if q.Meta.Class != 0 {
@@ -145,7 +145,7 @@ pass
 		t.Fatal(err)
 	}
 	m := NewMachine(combined)
-	if v, _ := m.Run(udp(1, 2, 100), NopEnv{}); v != VerdictPass {
+	if v, _, _ := m.Run(udp(1, 2, 100), NopEnv{}); v != VerdictPass {
 		t.Fatal("small packet passes both stages")
 	}
 }

@@ -40,16 +40,16 @@ pass
 	m := NewMachine(prog)
 
 	p := udp(1, 5432, 10)
-	if v, _ := m.Run(p, NopEnv{}); v != VerdictDrop {
+	if v, _, _ := m.Run(p, NopEnv{}); v != VerdictDrop {
 		t.Fatal("untrusted packet to 5432 should drop")
 	}
 	p.Meta.UID = 1001
 	p.Meta.TrustedMeta = true
-	if v, _ := m.Run(p, NopEnv{}); v != VerdictPass {
+	if v, _, _ := m.Run(p, NopEnv{}); v != VerdictPass {
 		t.Fatal("owner's packet should pass")
 	}
 	other := udp(1, 80, 10)
-	if v, _ := m.Run(other, NopEnv{}); v != VerdictPass {
+	if v, _, _ := m.Run(other, NopEnv{}); v != VerdictPass {
 		t.Fatal("other ports should pass")
 	}
 	if runs, cycles := m.Stats(); runs != 3 || cycles == 0 {
@@ -70,7 +70,7 @@ yes:
 pass
 `)
 	m := NewMachine(prog)
-	if v, _ := m.Run(udp(1, 2, 0), NopEnv{}); v != VerdictPass {
+	if v, _, _ := m.Run(udp(1, 2, 0), NopEnv{}); v != VerdictPass {
 		t.Fatal("arithmetic mismatch")
 	}
 }
@@ -88,10 +88,10 @@ drop
 `)
 	m := NewMachine(prog)
 	p := udp(7, 8, 0)
-	if v, _ := m.Run(p, NopEnv{}); v != VerdictDrop {
+	if v, _, _ := m.Run(p, NopEnv{}); v != VerdictDrop {
 		t.Fatal("first packet misses the table")
 	}
-	if v, _ := m.Run(p, NopEnv{}); v != VerdictPass {
+	if v, _, _ := m.Run(p, NopEnv{}); v != VerdictPass {
 		t.Fatal("second packet should hit the dataplane-inserted entry")
 	}
 	if m.TableLen("seen") != 1 {
@@ -152,15 +152,15 @@ pass
 	p := udp(1, 2, 18) // 60-byte frame
 	env := NopEnv{Time: 0}
 	// Burst allows one 60B frame; the second exceeds the bucket.
-	if v, _ := m.Run(p, env); v != VerdictPass {
+	if v, _, _ := m.Run(p, env); v != VerdictPass {
 		t.Fatal("first frame within burst")
 	}
-	if v, _ := m.Run(p, env); v != VerdictDrop {
+	if v, _, _ := m.Run(p, env); v != VerdictDrop {
 		t.Fatal("second frame should exceed the bucket")
 	}
 	// After 100ms, 100 bytes accrue: one more frame fits.
 	env.Time = sim.Time(100 * sim.Millisecond)
-	if v, _ := m.Run(p, env); v != VerdictPass {
+	if v, _, _ := m.Run(p, env); v != VerdictPass {
 		t.Fatal("bucket should refill over time")
 	}
 }
@@ -375,7 +375,7 @@ func TestRandomProgramsTerminateQuick(t *testing.T) {
 			return false
 		}
 		m := NewMachine(p)
-		v, cost := m.Run(udp(1, 2, 64), NopEnv{})
+		v, cost, _ := m.Run(udp(1, 2, 64), NopEnv{})
 		return (v == VerdictPass) && cost > 0 && cost <= len(p.Code)*8
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

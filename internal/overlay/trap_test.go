@@ -1,0 +1,69 @@
+package overlay
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunFallOffEndTraps covers the graceful-degradation contract for a
+// program the verifier should have rejected: Run returns a typed Trap (fail
+// open, VerdictPass), never panics.
+func TestRunFallOffEndTraps(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{{Op: OpNop}}} // no terminal
+	m := NewMachine(p)
+	v, _, err := m.Run(udp(1, 2, 0), NopEnv{})
+	if v != VerdictPass {
+		t.Fatalf("trapped run must fail open, got %v", v)
+	}
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("want *Trap, got %v", err)
+	}
+	if trap.Prog != "bad" || trap.PC != 1 || !strings.Contains(trap.Reason, "fell off end") {
+		t.Fatalf("trap = %+v", trap)
+	}
+	if m.Traps() != 1 {
+		t.Fatalf("Traps() = %d", m.Traps())
+	}
+}
+
+// TestInjectTrapOneShot checks the fault-injection hook: exactly the next
+// Run traps with the given reason, then the machine is healthy again.
+func TestInjectTrapOneShot(t *testing.T) {
+	m := NewMachine(mustAssemble(t, "pass\n"))
+	m.InjectTrap("stage fault")
+
+	v, cost, err := m.Run(udp(1, 2, 0), NopEnv{})
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("want injected *Trap, got %v", err)
+	}
+	if v != VerdictPass || cost != 0 {
+		t.Fatalf("injected trap must fail open for free: %v %d", v, cost)
+	}
+	if trap.PC != -1 || trap.Reason != "stage fault" {
+		t.Fatalf("trap = %+v", trap)
+	}
+
+	if _, _, err := m.Run(udp(1, 2, 0), NopEnv{}); err != nil {
+		t.Fatalf("trap must be one-shot, second run errored: %v", err)
+	}
+	if m.Traps() != 1 {
+		t.Fatalf("Traps() = %d", m.Traps())
+	}
+}
+
+// TestInjectTrapDefaultReason checks the empty-reason default.
+func TestInjectTrapDefaultReason(t *testing.T) {
+	m := NewMachine(mustAssemble(t, "pass\n"))
+	m.InjectTrap("")
+	_, _, err := m.Run(udp(1, 2, 0), NopEnv{})
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Reason != "injected trap" {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "injected trap") {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+}

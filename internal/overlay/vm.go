@@ -13,6 +13,22 @@ var (
 	ErrTableFull = errors.New("overlay: table full")
 )
 
+// Trap is a typed runtime fault raised by Machine.Run: the overlay analogue
+// of an eBPF program hitting a verifier-impossible state, a hardware stage
+// fault, or an injected fault-model trap. Traps never panic the simulation —
+// callers (the NIC pipeline) observe the error and degrade gracefully, e.g.
+// by falling back to the last-good overlay chain.
+type Trap struct {
+	Prog   string // program name
+	PC     int    // program counter at the fault, -1 for injected traps
+	Reason string
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	return fmt.Sprintf("overlay: trap in %q at pc %d: %s", t.Prog, t.PC, t.Reason)
+}
+
 // Env is what a program run may touch beyond the packet: the clock, the
 // capture tap and the notification sink. The NIC provides one per pipeline.
 type Env interface {
@@ -70,6 +86,11 @@ type Machine struct {
 
 	runs   uint64
 	cycles uint64
+	traps  uint64
+
+	// pendingTrap, when non-empty, makes the next Run return an injected
+	// Trap — the deterministic fault-injection hook (internal/faults).
+	pendingTrap string
 }
 
 // NewMachine instantiates runtime state for a verified program.
@@ -170,6 +191,19 @@ func (m *Machine) Counter(name string) uint64 {
 // Stats returns total runs and cycles executed.
 func (m *Machine) Stats() (runs, cycles uint64) { return m.runs, m.cycles }
 
+// Traps returns how many runs ended in a trap.
+func (m *Machine) Traps() uint64 { return m.traps }
+
+// InjectTrap arms a one-shot runtime trap: the next Run returns a Trap with
+// the given reason instead of executing. Deterministic fault injection uses
+// this to model transient stage faults without corrupting program state.
+func (m *Machine) InjectTrap(reason string) {
+	if reason == "" {
+		reason = "injected trap"
+	}
+	m.pendingTrap = reason
+}
+
 // loadField reads a packet/metadata field.
 func loadField(p *packet.Packet, f Field, now sim.Time) uint64 {
 	switch f {
@@ -239,18 +273,37 @@ func loadField(p *packet.Packet, f Field, now sim.Time) uint64 {
 	return 0
 }
 
-// Run executes the program on a packet and returns the verdict and the cost
-// in overlay cycles. Verified programs always terminate; Run panics on
-// structurally impossible states, which indicates a verifier bug.
-func (m *Machine) Run(p *packet.Packet, env Env) (Verdict, int) {
+// Run executes the program on a packet and returns the verdict, the cost in
+// overlay cycles, and a non-nil *Trap error if the run faulted. Verified
+// programs always terminate; a structurally impossible state (which would
+// indicate a verifier bug, bit-flipped program SRAM, or an injected fault)
+// surfaces as a Trap rather than a panic, so one bad program can never wedge
+// the whole dataplane — the caller decides how to degrade.
+func (m *Machine) Run(p *packet.Packet, env Env) (verdict Verdict, cost int, err error) {
+	if m.pendingTrap != "" {
+		reason := m.pendingTrap
+		m.pendingTrap = ""
+		m.traps++
+		return VerdictPass, 0, &Trap{Prog: m.prog.Name, PC: -1, Reason: reason}
+	}
 	var regs [NumRegs]uint64
-	cost := 0
 	now := env.Now()
 	pc := 0
 	code := m.prog.Code
+	// Safety net for states the verifier is supposed to exclude (bad table
+	// index, register overflow in an unexpected place): convert any runtime
+	// panic below into a typed Trap so the run path never crashes callers.
+	defer func() {
+		if r := recover(); r != nil {
+			m.traps++
+			verdict = VerdictPass
+			err = &Trap{Prog: m.prog.Name, PC: pc, Reason: fmt.Sprint(r)}
+		}
+	}()
 	for {
 		if pc >= len(code) {
-			panic("overlay: verified program fell off end")
+			m.traps++
+			return VerdictPass, cost, &Trap{Prog: m.prog.Name, PC: pc, Reason: "program fell off end"}
 		}
 		in := code[pc]
 		cost += in.Cost()
@@ -345,11 +398,11 @@ func (m *Machine) Run(p *packet.Packet, env Env) (Verdict, int) {
 		case OpPass:
 			m.runs++
 			m.cycles += uint64(cost)
-			return VerdictPass, cost
+			return VerdictPass, cost, nil
 		case OpDrop:
 			m.runs++
 			m.cycles += uint64(cost)
-			return VerdictDrop, cost
+			return VerdictDrop, cost, nil
 		}
 		pc++
 	}

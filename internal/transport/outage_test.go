@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"testing"
 
 	"norman/internal/arch"
@@ -55,5 +56,122 @@ func TestTransferSurvivesBitstreamOutage(t *testing.T) {
 	// The blackout plus recovery dominates the completion time.
 	if s.Stats.Finished < sim.Time(3*sim.Millisecond) {
 		t.Fatalf("finished at %v, before the outage even ended", s.Stats.Finished)
+	}
+}
+
+// TestTotalBlackholeAbortsBounded pins the no-livelock guarantee: with every
+// frame eaten by the wire (nothing ever reaches the peer), the stream
+// exhausts its retransmission budget and aborts — exactly one error
+// callback, terminal state, and a completion time bounded by the RTO
+// schedule (~4.1 s with the defaults), not an infinite retransmit loop.
+func TestTotalBlackholeAbortsBounded(t *testing.T) {
+	a := arch.New("kopi", arch.WorldConfig{})
+	w := a.World()
+	w.Peer = func(*packet.Packet, sim.Time) {} // sink: a total blackhole
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "sender")
+	flow := packet.FlowKey{Src: w.HostIP, Dst: w.PeerIP, SrcPort: 4001, DstPort: 5001, Proto: packet.ProtoTCP}
+	conn, err := a.Connect(proc, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := host.NewMux(a)
+
+	aborts := 0
+	var abortErr error
+	s := New(a, conn, flow, mux, Config{
+		TotalBytes: 1 << 20,
+		OnAbort:    func(err error, _ sim.Time) { aborts++; abortErr = err },
+		Done:       func(sim.Time) { t.Error("Done must not fire for an aborted stream") },
+	})
+	s.Start()
+	// Run to quiescence: if the abort failed to cancel the RTO timer this
+	// would never return (the livelock this test exists to rule out).
+	w.Eng.Run()
+
+	if !s.Aborted() || s.Done() {
+		t.Fatalf("blackhole stream must abort: done=%v aborted=%v stats=%+v",
+			s.Done(), s.Aborted(), s.Stats)
+	}
+	if !s.Terminal() {
+		t.Fatal("aborted stream must be terminal")
+	}
+	if aborts != 1 {
+		t.Fatalf("OnAbort fired %d times", aborts)
+	}
+	if !errors.Is(abortErr, ErrAborted) || !errors.Is(s.Err(), ErrAborted) {
+		t.Fatalf("abort error = %v / %v", abortErr, s.Err())
+	}
+	if !s.Stats.Aborted {
+		t.Fatalf("stats must record the abort: %+v", s.Stats)
+	}
+	// Bounded: sum of the doubling RTO schedule, well under 5 s — and the
+	// engine must go quiet right after (no lingering retransmit events).
+	if s.Stats.Finished > sim.Time(5*sim.Second) {
+		t.Fatalf("abort at %v, beyond the RTO schedule bound", s.Stats.Finished)
+	}
+	// The budget allows MaxRetries retransmissions; the expiry after the
+	// last one is the abort itself.
+	if int(s.Stats.Timeouts) != DefaultMaxRetries+1 {
+		t.Fatalf("timeouts = %d, want budget+abort %d", s.Stats.Timeouts, DefaultMaxRetries+1)
+	}
+	if idle := w.Eng.Now(); idle > sim.Time(6*sim.Second) {
+		t.Fatalf("events kept firing after the abort: engine went quiet at %v", idle)
+	}
+}
+
+// TestHeavyLossCompletesBounded: at 50% data loss the stream must still make
+// forward progress (acks reset the give-up budget) and finish — degraded,
+// retransmitting hard, but neither aborted nor livelocked.
+func TestHeavyLossCompletesBounded(t *testing.T) {
+	const total = 64 << 10
+	s, resp := run(t, total, 0.5, 0)
+	if s.Aborted() {
+		t.Fatalf("50%% loss must not abort a progressing stream: %v (stats %+v)", s.Err(), s.Stats)
+	}
+	if !s.Done() {
+		t.Fatalf("transfer incomplete under 50%% loss: %+v", s.Stats)
+	}
+	if resp.Received != total {
+		t.Fatalf("responder got %d/%d", resp.Received, total)
+	}
+	if s.Stats.Retransmits == 0 || resp.DataDrops == 0 {
+		t.Fatalf("loss model never exercised: %+v drops=%d", s.Stats, resp.DataDrops)
+	}
+	if s.Stats.Finished > sim.Time(5*sim.Second) {
+		t.Fatalf("completion at %v, outside the run window", s.Stats.Finished)
+	}
+}
+
+// TestDeadlineAborts: a stream that cannot finish by its deadline gives up
+// at the next RTO after the deadline passes.
+func TestDeadlineAborts(t *testing.T) {
+	a := arch.New("kopi", arch.WorldConfig{})
+	w := a.World()
+	w.Peer = func(*packet.Packet, sim.Time) {}
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "sender")
+	flow := packet.FlowKey{Src: w.HostIP, Dst: w.PeerIP, SrcPort: 4002, DstPort: 5001, Proto: packet.ProtoTCP}
+	conn, err := a.Connect(proc, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(a, conn, flow, host.NewMux(a), Config{
+		TotalBytes: 1 << 20,
+		MaxRetries: -1, // unlimited retries: only the deadline can stop it
+		Deadline:   100 * sim.Millisecond,
+	})
+	s.Start()
+	w.Eng.RunUntil(sim.Time(10 * sim.Second))
+
+	if !s.Aborted() || !errors.Is(s.Err(), ErrAborted) {
+		t.Fatalf("deadline must abort: aborted=%v err=%v", s.Aborted(), s.Err())
+	}
+	// The deadline check runs on RTO expiry, so the abort lands within one
+	// max-RTO of the deadline.
+	if s.Stats.Finished > sim.Time(100*sim.Millisecond+600*sim.Millisecond) {
+		t.Fatalf("deadline abort at %v", s.Stats.Finished)
 	}
 }

@@ -23,6 +23,11 @@ type Responder struct {
 	AckLossProb  float64
 	rng          *sim.RNG
 
+	// Deliver, when set, carries ACKs back toward the host instead of the
+	// default a.DeliverWire — the splice point for return-path fault
+	// injection (faults.Injector.WrapRx).
+	Deliver func(p *packet.Packet)
+
 	Received  uint64 // in-order bytes delivered
 	AcksSent  uint64
 	DataDrops uint64
@@ -68,6 +73,10 @@ func (r *Responder) Recv(p *packet.Packet, at sim.Time) {
 		p.TCP.DstPort, p.TCP.SrcPort, packet.TCPAck, 0)
 	ack.TCP.Ack = r.rcvNxt
 	r.AcksSent++
+	if r.Deliver != nil {
+		r.Deliver(ack)
+		return
+	}
 	r.a.DeliverWire(ack)
 }
 

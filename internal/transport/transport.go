@@ -11,6 +11,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 
 	"norman/internal/arch"
@@ -21,6 +22,16 @@ import (
 
 // MSS is the maximum segment payload.
 const MSS = 1400
+
+// DefaultMaxRetries is how many consecutive RTO expiries on the same
+// unacknowledged byte a stream tolerates before aborting. With the default
+// RTO schedule (10 ms initial, doubling, 500 ms cap) a total blackhole
+// aborts in under ~4 s of virtual time — bounded, never a livelock.
+const DefaultMaxRetries = 12
+
+// ErrAborted is the terminal error of a stream that gave up (retransmission
+// budget exhausted or deadline passed) rather than completing.
+var ErrAborted = errors.New("transport: stream aborted")
 
 // Config parameterizes a stream.
 type Config struct {
@@ -33,6 +44,18 @@ type Config struct {
 	// have TSO enabled (nic.SetTSO) or the wire will carry jumbo frames.
 	SuperSegment uint32
 	Done         func(at sim.Time)
+
+	// MaxRetries bounds consecutive RTO expiries on the same sndUna before
+	// the stream aborts with ErrAborted. 0 = DefaultMaxRetries; negative =
+	// unlimited (the pre-abort livelock behavior, for experiments that want
+	// it).
+	MaxRetries int
+	// Deadline, when positive, aborts the stream if it has not completed
+	// within this much virtual time of Start.
+	Deadline sim.Duration
+	// OnAbort fires exactly once when the stream gives up; Done never fires
+	// for an aborted stream.
+	OnAbort func(err error, at sim.Time)
 }
 
 // Stats tracks a stream's behavior for tests and benches.
@@ -46,6 +69,9 @@ type Stats struct {
 	Finished        sim.Time
 	// CwndMax is the peak congestion window observed, in bytes.
 	CwndMax float64
+	// Aborted records that the stream gave up (MaxRetries or Deadline)
+	// instead of completing; Finished then holds the abort time.
+	Aborted bool
 }
 
 // Goodput returns achieved application throughput in Gbit/s.
@@ -79,6 +105,12 @@ type Stream struct {
 
 	timerGen uint64 // cancels stale RTO events
 	done     bool
+
+	// Give-up tracking: consecutive RTO expiries pinned on the same sndUna.
+	rtoStreak int
+	rtoUna    uint32
+	aborted   bool
+	err       error
 
 	Stats Stats
 }
@@ -114,6 +146,46 @@ func (s *Stream) Start() {
 // Done reports whether the whole transfer has been acknowledged.
 func (s *Stream) Done() bool { return s.done }
 
+// Aborted reports whether the stream gave up without completing.
+func (s *Stream) Aborted() bool { return s.aborted }
+
+// Terminal reports whether the stream has reached a terminal state: either
+// completed (Done) or aborted (Err non-nil). A terminal stream schedules no
+// further events — the no-livelock guarantee E9 measures.
+func (s *Stream) Terminal() bool { return s.done || s.aborted }
+
+// Err returns the terminal error of an aborted stream (wrapping ErrAborted),
+// or nil while in flight or after success.
+func (s *Stream) Err() error { return s.err }
+
+// abort ends the stream with err: cancel the RTO timer, record stats, and
+// fire the error callback — exactly once, whatever path got here.
+func (s *Stream) abort(err error) {
+	if s.done || s.aborted {
+		return
+	}
+	s.aborted = true
+	s.err = err
+	s.timerGen++ // cancel any armed RTO
+	s.Stats.Aborted = true
+	s.Stats.Finished = s.now()
+	if s.cfg.OnAbort != nil {
+		s.cfg.OnAbort(err, s.Stats.Finished)
+	}
+}
+
+// maxRetries resolves the configured retry budget.
+func (s *Stream) maxRetries() int {
+	switch {
+	case s.cfg.MaxRetries < 0:
+		return 0 // unlimited
+	case s.cfg.MaxRetries == 0:
+		return DefaultMaxRetries
+	default:
+		return s.cfg.MaxRetries
+	}
+}
+
 func (s *Stream) now() sim.Time { return s.a.World().Eng.Now() }
 
 // segment builds the TCP data segment starting at seq.
@@ -146,7 +218,7 @@ func (s *Stream) inFlightLimit() uint32 {
 
 // trySend transmits as much new data as the window allows.
 func (s *Stream) trySend() {
-	if s.done {
+	if s.done || s.aborted {
 		return
 	}
 	for s.sndNxt < s.cfg.TotalBytes && s.sndNxt-s.sndUna < s.inFlightLimit() {
@@ -178,13 +250,13 @@ func (s *Stream) retransmit() {
 
 // armTimer schedules (or reschedules) the RTO for the current window.
 func (s *Stream) armTimer() {
-	if s.done || s.sndUna >= s.cfg.TotalBytes {
+	if s.done || s.aborted || s.sndUna >= s.cfg.TotalBytes {
 		return
 	}
 	s.timerGen++
 	gen := s.timerGen
 	s.a.World().Eng.After(s.rto, func() {
-		if gen != s.timerGen || s.done {
+		if gen != s.timerGen || s.done || s.aborted {
 			return
 		}
 		s.onTimeout()
@@ -196,6 +268,25 @@ func (s *Stream) onTimeout() {
 		return
 	}
 	s.Stats.Timeouts++
+
+	// Give-up path: consecutive expiries with no forward progress mean the
+	// path (or the peer) is gone; retransmitting forever would livelock the
+	// stream and pin its timer events in the engine for good.
+	if s.sndUna == s.rtoUna {
+		s.rtoStreak++
+	} else {
+		s.rtoUna = s.sndUna
+		s.rtoStreak = 1
+	}
+	now := s.now()
+	if max := s.maxRetries(); max > 0 && s.rtoStreak > max {
+		s.abort(fmt.Errorf("%w: %d consecutive RTOs at seq %d", ErrAborted, s.rtoStreak-1, s.sndUna))
+		return
+	}
+	if s.cfg.Deadline > 0 && now.Sub(s.Stats.Started) >= s.cfg.Deadline {
+		s.abort(fmt.Errorf("%w: deadline %v exceeded", ErrAborted, s.cfg.Deadline))
+		return
+	}
 	s.ssthresh = maxf(s.cwnd/2, 2*MSS)
 	s.cwnd = MSS
 	s.recovering = false
@@ -215,7 +306,7 @@ func (s *Stream) onTimeout() {
 
 // onAck processes a cumulative acknowledgment from the responder.
 func (s *Stream) onAck(_ *arch.Conn, p *packet.Packet, at sim.Time) {
-	if p.TCP == nil || p.TCP.Flags&packet.TCPAck == 0 || s.done {
+	if p.TCP == nil || p.TCP.Flags&packet.TCPAck == 0 || s.done || s.aborted {
 		return
 	}
 	ack := p.TCP.Ack
@@ -225,6 +316,7 @@ func (s *Stream) onAck(_ *arch.Conn, p *packet.Packet, at sim.Time) {
 		s.Stats.AckedBytes += uint64(acked)
 		s.sndUna = ack
 		s.dupAcks = 0
+		s.rtoStreak = 0 // forward progress resets the give-up budget
 
 		// RTT sample (Karn-compliant: only for never-retransmitted probes).
 		if s.rttValid && ack > s.rttSeq {

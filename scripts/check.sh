@@ -12,4 +12,7 @@ go vet ./...
 go test ./...
 # The pool defaults to GOMAXPROCS workers; force a wide pool so the race
 # pass exercises real interleavings even on small machines.
-NORMAN_WORKERS=8 go test -race -count=1 ./internal/sim/... ./internal/experiments/...
+NORMAN_WORKERS=8 go test -race -count=1 ./internal/sim/... ./internal/experiments/... ./internal/faults/...
+# Fault-injection determinism under race at an explicit non-default seed:
+# the E9 table must be byte-identical sequentially and at any pool width.
+NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E9|Fault|Trap|Abort' ./internal/experiments/... ./internal/faults/... ./internal/transport/... ./internal/nic/... ./internal/overlay/...
