@@ -11,6 +11,8 @@
 //	kopibench -json            # also write BENCH_E*.json + BENCH_ENGINE.json
 //	kopibench -outdir results  # where -json baselines land (default .)
 //	kopibench -list            # list experiments
+//	kopibench -metrics-out m.prom  # write the E9 telemetry registry (Prometheus text)
+//	kopibench -pprof cpu.out   # write a CPU profile of the whole run
 //
 // The -json baselines are the repo's perf trajectory: each BENCH_E*.json
 // records the experiment's wall-clock and simulated-event throughput at a
@@ -30,6 +32,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"runtime/pprof"
 
 	"norman/internal/experiments"
 	"norman/internal/sim"
@@ -59,8 +63,12 @@ var registry = map[string]struct {
 	"E8": {"owner-based filtering under spoofing + classifier ablation",
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE8(s); return t }},
 	"E9": {"degradation under injected faults (wire/NIC/overlay), seeded by NORMAN_FAULT_SEED",
-		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE9(s); return t }},
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE9Telemetry(s, e9Telemetry); return t }},
 }
+
+// e9Telemetry is the observability sink E9 fills when -metrics-out is set
+// (nil otherwise, which keeps the plain benchmark path allocation-free).
+var e9Telemetry *experiments.Telemetry
 
 // benchRecord is one experiment's perf baseline, serialized to
 // BENCH_<id>.json when -json is set.
@@ -91,7 +99,29 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "worker-pool width (implies -parallel; 0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<id>.json baselines (wall clock, events/sec) and BENCH_ENGINE.json")
 	outdir := flag.String("outdir", ".", "directory -json baselines are written to")
+	metricsOut := flag.String("metrics-out", "", "write the E9 run's telemetry registry (Prometheus text) to this file")
+	pprofOut := flag.String("pprof", "", "write a CPU profile of the experiment runs to this file")
 	flag.Parse()
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kopibench: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kopibench: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("    wrote %s\n", *pprofOut)
+		}()
+	}
+	if *metricsOut != "" {
+		e9Telemetry = experiments.NewTelemetry()
+	}
 
 	// Sequential by default so historical numbers stay comparable; the
 	// pool is opt-in per run. NORMAN_WORKERS is honored only in parallel
@@ -157,6 +187,19 @@ func main() {
 			}
 			writeJSON(filepath.Join(*outdir, "BENCH_"+id+".json"), rec)
 		}
+	}
+
+	if *metricsOut != "" {
+		body := e9Telemetry.Registry.RenderPrometheus()
+		if body == "" {
+			fmt.Fprintln(os.Stderr, "kopibench: -metrics-out set but no telemetry collected (E9 not selected?)")
+		}
+		if err := os.WriteFile(*metricsOut, []byte(body), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "kopibench: write %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    wrote %s (%d metrics, layers %v)\n",
+			*metricsOut, e9Telemetry.Registry.Len(), e9Telemetry.Registry.Layers())
 	}
 
 	if *jsonOut {

@@ -1,6 +1,8 @@
 // Command nnetstat lists connections on a running normand with full
 // process attribution — the kernel-table join (flow ↔ pid/uid/command) that
-// off-host interposition layers cannot produce.
+// off-host interposition layers cannot produce. With -metrics it instead
+// dumps the daemon's unified telemetry registry (Prometheus text by default,
+// JSON with -json), covering every layer from host syscalls to the NIC.
 package main
 
 import (
@@ -13,6 +15,8 @@ import (
 
 func main() {
 	socket := flag.String("socket", ctl.DefaultSocket, "normand control socket")
+	metrics := flag.Bool("metrics", false, "dump the daemon's telemetry registry instead of connections")
+	jsonOut := flag.Bool("json", false, "with -metrics: render JSON instead of Prometheus text")
 	flag.Parse()
 
 	c, err := ctl.Dial(*socket)
@@ -20,6 +24,20 @@ func main() {
 		fatal(err)
 	}
 	defer c.Close()
+
+	if *metrics {
+		format := "prometheus"
+		if *jsonOut {
+			format = "json"
+		}
+		var data ctl.TelemetryData
+		if err := c.Call(ctl.OpTelemetry, ctl.TelemetryArgs{Format: format}, &data); err != nil {
+			fatal(err)
+		}
+		fmt.Print(data.Body)
+		fmt.Fprintf(os.Stderr, "nnetstat: %d metrics across layers %v\n", data.Metrics, data.Layers)
+		return
+	}
 
 	var rows []ctl.NetstatData
 	if err := c.Call(ctl.OpNetstat, nil, &rows); err != nil {

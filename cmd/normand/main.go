@@ -33,6 +33,9 @@ func main() {
 	flag.Parse()
 
 	sys := norman.New(norman.Architecture(*archName))
+	// Observability on from the start: the metrics registry and the packet
+	// tracer feed nnetstat -metrics and ntcpdump -trace.
+	reg := sys.EnableTelemetry()
 	// The far side of the link: a gateway endpoint (10.0.0.2) that echoes
 	// UDP and answers pings, as any real peer would.
 	net := wire.NewNetwork(sys.Arch())
@@ -84,6 +87,7 @@ func main() {
 	}
 
 	srv := ctl.NewServer(sys)
+	srv.RegisterMetrics(reg, nil)
 	fmt.Printf("normand: %s host up, %d demo processes, control socket %s\n",
 		sys.ArchitectureName(), len(sys.Netstat()), *socket)
 	if *flood {

@@ -6,6 +6,8 @@
 //	ntcpdump arp                         # start capturing ARP
 //	ntcpdump -advance 50 -fetch          # run 50ms of virtual time, print
 //	ntcpdump -fetch -w out.pcap          # also write a pcap
+//	ntcpdump -trace 0                    # print the latest packet's lifecycle
+//	ntcpdump -trace 17                   # print packet 17's full journey
 package main
 
 import (
@@ -23,6 +25,8 @@ func main() {
 	fetch := flag.Bool("fetch", false, "fetch and print captured records")
 	advance := flag.Int("advance", 0, "advance virtual time by this many ms first")
 	pcapOut := flag.String("w", "", "write captured packets to this pcap file")
+	traceID := flag.Uint64("trace", 0, "print one packet's lifecycle journey by trace id (0 = latest); use -dotrace to request id 0 explicitly")
+	doTrace := flag.Bool("dotrace", false, "print the most recent packet's lifecycle journey")
 	flag.Parse()
 
 	c, err := ctl.Dial(*socket)
@@ -30,6 +34,24 @@ func main() {
 		fatal(err)
 	}
 	defer c.Close()
+
+	if *traceID != 0 || *doTrace {
+		if *advance > 0 {
+			if err := c.Call(ctl.OpAdvance, ctl.AdvanceArgs{Millis: *advance}, nil); err != nil {
+				fatal(err)
+			}
+		}
+		var data ctl.TraceData
+		if err := c.Call(ctl.OpTrace, ctl.TraceArgs{ID: *traceID}, &data); err != nil {
+			fatal(err)
+		}
+		fmt.Print(data.Rendered)
+		if len(data.Available) > 0 {
+			fmt.Printf("(%d traced packets retained: ids %d..%d)\n",
+				len(data.Available), data.Available[0], data.Available[len(data.Available)-1])
+		}
+		return
+	}
 
 	if expr := strings.Join(flag.Args(), " "); expr != "" || (!*fetch && *pcapOut == "") {
 		if err := c.Call(ctl.OpDumpStart, ctl.DumpArgs{Expr: expr}, nil); err != nil {

@@ -30,9 +30,28 @@ func (b *base) SetDeliver(fn DeliverFunc) { b.deliver = fn }
 func (b *base) upcall(c *Conn, p *packet.Packet, at sim.Time) {
 	c.Delivered++
 	c.LastDeliver = at
+	b.trace(p, at, "host", "rx_deliver", "")
 	if b.deliver != nil {
 		b.deliver(c, p, at)
 	}
+}
+
+// traceStamp assigns a lifecycle trace ID to p at its first interposition
+// point. No-op when tracing is off or p is already stamped (clones and
+// retransmits keep their origin's ID).
+func (b *base) traceStamp(p *packet.Packet) {
+	if b.w.Tracer != nil && p.Meta.Trace == 0 {
+		p.Meta.Trace = b.w.Tracer.StampID()
+	}
+}
+
+// trace appends a span event for p when it carries a trace ID. One branch
+// when tracing is off.
+func (b *base) trace(p *packet.Packet, at sim.Time, layer, point, note string) {
+	if b.w.Tracer == nil || p.Meta.Trace == 0 {
+		return
+	}
+	b.w.Tracer.Record(p.Meta.Trace, at, layer, point, note)
 }
 
 // appRxCost is the application-side cost of consuming one descriptor:

@@ -100,12 +100,16 @@ func (d *direct) Send(c *Conn, p *packet.Packet) {
 	if c.NC.TX.Empty() {
 		cost += sim.Duration(m.MMIOWrite)
 	}
+	d.traceStamp(p)
+	d.trace(p, now, "host", "syscall_send", "")
 	_, done := core.Acquire(now, cost)
 	d.w.Eng.At(done, func() {
 		if err := c.NC.TX.Push(mem.Desc{Pkt: p, Produced: d.w.Eng.Now()}); err != nil {
 			d.TxAppDrops++
+			d.trace(p, d.w.Eng.Now(), "ring", "tx_drop_full", "")
 			return
 		}
+		d.trace(p, d.w.Eng.Now(), "ring", "tx_enqueue", "")
 		d.w.NIC.DoorbellTx(c.NC)
 	})
 }
@@ -132,13 +136,20 @@ func (d *direct) SendBatch(c *Conn, pkts []*packet.Packet) {
 			d.memTouch(d.w.NIC.BufAddr(c.NC, idx, false), hdr)
 	}
 	cost += sim.Duration(m.MMIOWrite) // one tail-pointer write for the burst
+	for _, p := range pkts {
+		d.traceStamp(p)
+		d.trace(p, now, "host", "syscall_send", "batched")
+	}
 	_, done := core.Acquire(now, cost)
 	batch := append([]*packet.Packet(nil), pkts...)
 	d.w.Eng.At(done, func() {
 		for _, p := range batch {
 			if err := c.NC.TX.Push(mem.Desc{Pkt: p, Produced: d.w.Eng.Now()}); err != nil {
 				d.TxAppDrops++
+				d.trace(p, d.w.Eng.Now(), "ring", "tx_drop_full", "")
+				continue
 			}
+			d.trace(p, d.w.Eng.Now(), "ring", "tx_enqueue", "")
 		}
 		d.w.NIC.DoorbellTx(c.NC)
 	})

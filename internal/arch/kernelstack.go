@@ -153,10 +153,15 @@ func (a *KernelStack) kernelTx(c *Conn, p *packet.Packet) {
 	m := a.w.Model
 	now := a.w.Eng.Now()
 	appCore := a.w.Core(c.Info.PID)
-	// The kernel stamps trusted metadata from process context.
+	// The kernel stamps trusted metadata from process context; the lifecycle
+	// trace ID rides along (metadata replacement must not orphan the span).
 	meta := a.w.Kern.Meta(c.Info)
+	trace := p.Meta.Trace
 	p.Meta = meta
 	p.Meta.Enqueued = now
+	p.Meta.Trace = trace
+	a.traceStamp(p)
+	a.trace(p, now, "host", "syscall_send", "kernel stack")
 
 	kcost := sim.Duration(m.KernelStackFixed)
 	res := a.fw.EvaluateAt(filter.HookOutput, p, now)
@@ -167,6 +172,7 @@ func (a *KernelStack) kernelTx(c *Conn, p *packet.Packet) {
 	a.w.Kern.ARP().Observe(p, now, true)
 	_, kdone := appCore.Acquire(now, kcost)
 	if res.Action != filter.ActAccept {
+		a.trace(p, now, "host", "netfilter_drop", "chain=OUTPUT")
 		return // dropped by OUTPUT chain
 	}
 	a.w.Eng.At(kdone, func() {
@@ -235,8 +241,10 @@ func (a *KernelStack) pushToNIC(p *packet.Packet, core *sim.Server) {
 	a.w.Eng.At(done, func() {
 		if err := a.kq.TX.Push(mem.Desc{Pkt: p, Produced: p.Meta.Enqueued}); err != nil {
 			a.TxAppDrops++
+			a.trace(p, a.w.Eng.Now(), "ring", "tx_drop_full", "")
 			return
 		}
+		a.trace(p, a.w.Eng.Now(), "ring", "tx_enqueue", "kernel queue")
 		a.w.NIC.DoorbellTx(a.kq)
 		a.pumpTx()
 	})

@@ -9,6 +9,7 @@ import (
 	"norman/internal/nic"
 	"norman/internal/packet"
 	"norman/internal/sim"
+	"norman/internal/telemetry"
 	"norman/internal/timing"
 )
 
@@ -32,6 +33,11 @@ type World struct {
 	// Peer receives frames that left on the wire, after propagation. The
 	// experiment installs it (echo server, sink, traffic source...).
 	Peer func(p *packet.Packet, at sim.Time)
+
+	// Tracer is the packet-lifecycle tracer, nil unless EnableTracing was
+	// called. When set, the NIC stamps trace IDs and every interposition
+	// point appends a span event.
+	Tracer *telemetry.Tracer
 
 	cores     map[uint32]*sim.Server // per-process app cores
 	kernCores []*sim.Server          // kernel / sidecar dataplane cores (softirq queues)
@@ -98,6 +104,40 @@ func NewWorld(cfg WorldConfig) *World {
 		SRAMBudget: cfg.SRAMBudget,
 	})
 	return w
+}
+
+// EnableTracing attaches a packet-lifecycle tracer of the given span depth
+// (<= 0 uses telemetry.DepthFromEnv) to the world and its NIC. Architectures
+// that stamp packets on the host side consult w.Tracer directly.
+func (w *World) EnableTracing(depth int) *telemetry.Tracer {
+	if depth <= 0 {
+		depth = telemetry.DepthFromEnv()
+	}
+	w.Tracer = telemetry.NewTracer(depth)
+	w.NIC.SetTracer(w.Tracer)
+	return w.Tracer
+}
+
+// RegisterMetrics exposes the world's host, simulator and memory counters —
+// plus the NIC's dataplane counters and, when tracing is enabled, the
+// tracer's own accounting — under one registry. Every metric carries the
+// caller's labels (typically arch and experiment identity) so many worlds can
+// share one registry without colliding.
+func (w *World) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
+	r.Gauge(telemetry.Desc{Layer: "host", Name: "cpu_busy_seconds", Help: "total core-busy time across app and kernel cores (poll-pinned cores count as fully busy)", Unit: "seconds"},
+		labels, func() float64 { return w.CPUBusy(w.Eng.Now()).Seconds() })
+	r.Gauge(telemetry.Desc{Layer: "host", Name: "cores", Help: "app cores plus kernel dataplane cores in the world", Unit: "cores"},
+		labels, func() float64 { return float64(len(w.cores) + len(w.kernCores)) })
+	r.Counter(telemetry.Desc{Layer: "sim", Name: "events_fired", Help: "discrete events executed by this world's engine", Unit: "events"},
+		labels, func() uint64 { return w.Eng.Fired() })
+	r.Gauge(telemetry.Desc{Layer: "sim", Name: "virtual_time_seconds", Help: "current virtual clock of this world's engine", Unit: "seconds"},
+		labels, func() float64 { return sim.Duration(w.Eng.Now()).Seconds() })
+	r.Gauge(telemetry.Desc{Layer: "mem", Name: "alloc_used_bytes", Help: "high-water mark of the simulated host physical allocator", Unit: "bytes"},
+		labels, func() float64 { return float64(w.Alloc.Used()) })
+	w.NIC.RegisterMetrics(r, labels)
+	if w.Tracer != nil {
+		w.Tracer.RegisterMetrics(r, labels)
+	}
 }
 
 // Core returns (creating if needed) the core a process runs on.

@@ -2,6 +2,7 @@ package ctl
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -29,7 +30,10 @@ func startServer(t *testing.T) (*Client, *norman.System) {
 	}
 	sys.At(0, tick)
 
+	// Telemetry on, as normand runs it: the dump/trace ops are live and the
+	// ctl layer's own request accounting lands in the registry.
 	srv := NewServer(sys)
+	srv.RegisterMetrics(sys.EnableTelemetry(), nil)
 	path := filepath.Join(t.TempDir(), "ctl.sock")
 	go func() { _ = srv.Listen(path) }()
 	t.Cleanup(func() { _ = srv.Close() })
@@ -220,5 +224,95 @@ func TestToolDegradationByArchitecture(t *testing.T) {
 	var ping PingData
 	if err := ks.Call(OpPing, PingArgs{Dst: "10.0.0.2", Count: 1}, &ping); err != nil || ping.Received != 1 {
 		t.Errorf("kernelstack ping: %v %+v", err, ping)
+	}
+}
+
+// TestTelemetryDumpOp exercises telemetry.dump end to end: after some
+// traffic the registry renders in both formats and covers the layers a
+// running daemon is expected to populate, including ctl's own accounting.
+func TestTelemetryDumpOp(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Call(OpAdvance, AdvanceArgs{Millis: 20}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var data TelemetryData
+	if err := c.Call(OpTelemetry, TelemetryArgs{Format: "prometheus"}, &data); err != nil {
+		t.Fatal(err)
+	}
+	if data.Metrics == 0 {
+		t.Fatal("empty registry")
+	}
+	for _, layer := range []string{"nic", "ctl", "host"} {
+		found := false
+		for _, l := range data.Layers {
+			if l == layer {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("layers %v missing %q", data.Layers, layer)
+		}
+	}
+	for _, want := range []string{"norman_nic_tx_frames", "norman_ctl_requests"} {
+		if !strings.Contains(data.Body, want) {
+			t.Errorf("prometheus body missing %s", want)
+		}
+	}
+
+	var js TelemetryData
+	if err := c.Call(OpTelemetry, TelemetryArgs{Format: "json"}, &js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(js.Body), "[") {
+		t.Fatalf("json body does not look like JSON: %.60s", js.Body)
+	}
+	if err := c.Call(OpTelemetry, TelemetryArgs{Format: "yaml"}, nil); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+// TestTraceGetOp exercises trace.get: id 0 resolves to the most recent
+// traced packet, and an explicit id renders the same journey.
+func TestTraceGetOp(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Call(OpAdvance, AdvanceArgs{Millis: 20}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var latest TraceData
+	if err := c.Call(OpTrace, TraceArgs{ID: 0}, &latest); err != nil {
+		t.Fatal(err)
+	}
+	if latest.ID == 0 || len(latest.Available) == 0 {
+		t.Fatalf("no trace resolved: %+v", latest)
+	}
+	if !strings.Contains(latest.Rendered, "interposition points") ||
+		!strings.Contains(latest.Rendered, "syscall_send") {
+		t.Fatalf("rendered trace lacks the journey:\n%s", latest.Rendered)
+	}
+	// An explicit id resolves the same packet. The render may have grown
+	// since (each ctl request advances virtual time, so an in-flight packet
+	// picks up its remaining interposition points) — pin the header instead.
+	var explicit TraceData
+	if err := c.Call(OpTrace, TraceArgs{ID: latest.ID}, &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.ID != latest.ID {
+		t.Fatalf("explicit id %d resolved to %d", latest.ID, explicit.ID)
+	}
+	header := strings.SplitN(latest.Rendered, ":", 2)[0]
+	if !strings.HasPrefix(explicit.Rendered, header+":") {
+		t.Fatalf("explicit render is for a different packet:\n%s", explicit.Rendered)
+	}
+}
+
+// TestTelemetryDisabled pins the degradation mode: a daemon started without
+// EnableTelemetry refuses both observability ops with a clear error.
+func TestTelemetryDisabled(t *testing.T) {
+	srv := NewServer(norman.New(norman.KOPI))
+	if _, err := srv.dispatch(Request{Op: OpTelemetry}); err == nil {
+		t.Fatal("telemetry.dump without telemetry must error")
+	}
+	if _, err := srv.dispatch(Request{Op: OpTrace}); err == nil {
+		t.Fatal("trace.get without tracing must error")
 	}
 }

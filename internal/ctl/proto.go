@@ -40,6 +40,8 @@ const (
 	OpNetstat       = "netstat"
 	OpARP           = "arp"
 	OpPing          = "ping"
+	OpTelemetry     = "telemetry.dump"
+	OpTrace         = "trace.get"
 )
 
 // RuleArgs is the wire form of a firewall rule (iptables.append).
@@ -136,6 +138,34 @@ type DumpRecord struct {
 type PcapData struct {
 	Base64 string `json:"pcap_b64"`
 	Count  int    `json:"count"`
+}
+
+// TelemetryArgs selects the metrics rendering (telemetry.dump).
+type TelemetryArgs struct {
+	// Format is "prometheus" (default) or "json".
+	Format string `json:"format,omitempty"`
+}
+
+// TelemetryData carries a rendered metrics dump.
+type TelemetryData struct {
+	Format  string   `json:"format"`
+	Metrics int      `json:"metrics"`
+	Layers  []string `json:"layers"`
+	Body    string   `json:"body"`
+}
+
+// TraceArgs names a packet trace (trace.get); ID 0 means the most recently
+// stamped packet.
+type TraceArgs struct {
+	ID uint64 `json:"id,omitempty"`
+}
+
+// TraceData is one packet's rendered lifecycle journey plus the IDs still
+// held in the tracer's ring.
+type TraceData struct {
+	ID        uint64   `json:"id"`
+	Available []uint64 `json:"available,omitempty"`
+	Rendered  string   `json:"rendered"`
 }
 
 // Marshal is a helper for building requests.

@@ -13,6 +13,7 @@ import (
 
 	"norman"
 	"norman/internal/sniff"
+	"norman/internal/telemetry"
 )
 
 // Server exposes a running System over the control socket. All simulation
@@ -28,6 +29,10 @@ type Server struct {
 
 	capture *norman.Capture
 	tcDesc  string
+
+	// Request accounting, exposed through RegisterMetrics as the ctl layer.
+	requests uint64
+	errors   uint64
 
 	ln     net.Listener
 	closed atomic.Bool
@@ -99,9 +104,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(req Request) (json.RawMessage, error) {
+func (s *Server) dispatch(req Request) (data json.RawMessage, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.requests++
+	defer func() {
+		if err != nil {
+			s.errors++
+		}
+	}()
 
 	// Keep the world moving so tools observe live state.
 	if req.Op != OpAdvance {
@@ -175,6 +186,22 @@ func (s *Server) dispatch(req Request) (json.RawMessage, error) {
 		return s.netstat()
 	case OpARP:
 		return s.arp()
+	case OpTelemetry:
+		var a TelemetryArgs
+		if len(req.Args) > 0 {
+			if err := json.Unmarshal(req.Args, &a); err != nil {
+				return nil, err
+			}
+		}
+		return s.telemetryDump(a)
+	case OpTrace:
+		var a TraceArgs
+		if len(req.Args) > 0 {
+			if err := json.Unmarshal(req.Args, &a); err != nil {
+				return nil, err
+			}
+		}
+		return s.traceGet(a)
 	default:
 		return nil, fmt.Errorf("ctl: unknown op %q", req.Op)
 	}
@@ -337,6 +364,58 @@ func (s *Server) netstat() (json.RawMessage, error) {
 		})
 	}
 	return marshal(out)
+}
+
+// telemetryDump renders the system's metrics registry (telemetry.dump).
+func (s *Server) telemetryDump(a TelemetryArgs) (json.RawMessage, error) {
+	reg := s.sys.Telemetry()
+	if reg == nil {
+		return nil, fmt.Errorf("ctl: telemetry not enabled on this daemon")
+	}
+	format := a.Format
+	if format == "" {
+		format = "prometheus"
+	}
+	var body string
+	switch format {
+	case "prometheus":
+		body = reg.RenderPrometheus()
+	case "json":
+		body = reg.RenderJSON()
+	default:
+		return nil, fmt.Errorf("ctl: unknown telemetry format %q (want prometheus or json)", a.Format)
+	}
+	return marshal(TelemetryData{
+		Format:  format,
+		Metrics: reg.Len(),
+		Layers:  reg.Layers(),
+		Body:    body,
+	})
+}
+
+// traceGet renders one packet's lifecycle journey (trace.get).
+func (s *Server) traceGet(a TraceArgs) (json.RawMessage, error) {
+	tr := s.sys.Tracer()
+	if tr == nil {
+		return nil, fmt.Errorf("ctl: tracing not enabled on this daemon")
+	}
+	ids := tr.IDs()
+	if a.ID == 0 {
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("ctl: no packets traced yet")
+		}
+		a.ID = ids[len(ids)-1]
+	}
+	return marshal(TraceData{ID: a.ID, Available: ids, Rendered: tr.Format(a.ID)})
+}
+
+// RegisterMetrics exposes the control plane's own request accounting on a
+// registry — the ctl layer of the unified telemetry schema.
+func (s *Server) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
+	r.Counter(telemetry.Desc{Layer: "ctl", Name: "requests", Help: "control-socket requests dispatched", Unit: "requests"},
+		labels, func() uint64 { return s.requests })
+	r.Counter(telemetry.Desc{Layer: "ctl", Name: "errors", Help: "control-socket requests that returned an error", Unit: "requests"},
+		labels, func() uint64 { return s.errors })
 }
 
 func (s *Server) arp() (json.RawMessage, error) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strconv"
@@ -12,7 +13,9 @@ import (
 	"norman/internal/nic"
 	"norman/internal/packet"
 	"norman/internal/sim"
+	"norman/internal/sniff"
 	"norman/internal/stats"
+	"norman/internal/telemetry"
 	"norman/internal/transport"
 )
 
@@ -73,6 +76,15 @@ type E9Row struct {
 // completes or aborts in bounded virtual time, and an overlay trap is
 // absorbed by the last-good chain instead of killing the dataplane.
 func RunE9(scale Scale) ([]E9Row, *stats.Table) {
+	return RunE9Telemetry(scale, nil)
+}
+
+// RunE9Telemetry is RunE9 with an optional observability sink: when tel is
+// non-nil, every world registers its metrics under {arch, fault} labels,
+// traces one packet lifecycle per sweep point, and exports a pcap from a
+// dataplane tap where the architecture can host one. Artifacts are keyed by
+// sweep point, so the sink's contents are deterministic at any worker width.
+func RunE9Telemetry(scale Scale, tel *Telemetry) ([]E9Row, *stats.Table) {
 	archs := []string{"kernelstack", "bypass", "kopi"}
 	pcts := []float64{0, 0.5, 2, 10, 100}
 	seed := FaultSeed()
@@ -86,7 +98,7 @@ func RunE9(scale Scale) ([]E9Row, *stats.Table) {
 			row.Arch = name
 			row.FaultPct = pct
 			name, pct := name, pct
-			r.Go(func() { e9Point(name, pct, seed, total, row) })
+			r.Go(func() { e9Point(name, pct, seed, total, row, tel) })
 		}
 	}
 	r.Wait()
@@ -103,9 +115,13 @@ func RunE9(scale Scale) ([]E9Row, *stats.Table) {
 }
 
 // e9Point runs one world: an architecture at one fault intensity.
-func e9Point(name string, pct float64, seed int64, total uint32, row *E9Row) {
+func e9Point(name string, pct float64, seed int64, total uint32, row *E9Row, tel *Telemetry) {
 	a := arch.New(name, arch.WorldConfig{})
 	w := a.World()
+	point := fmt.Sprintf("%s-%g", name, pct)
+	if tel != nil {
+		w.EnableTracing(0)
+	}
 
 	wire := faults.WireConfig{
 		Loss:      pct / 100,
@@ -128,6 +144,9 @@ func e9Point(name string, pct float64, seed int64, total uint32, row *E9Row) {
 		}
 	}
 	inj := faults.New(w.Eng, w.NIC, w.LLC, cfg)
+	if tel != nil {
+		inj.SetTracer(w.Tracer)
+	}
 
 	// Peer side: per-stream responders (each reassembles one sequence
 	// space), all fed from the wire, with their ACK path routed back through
@@ -137,6 +156,9 @@ func e9Point(name string, pct float64, seed int64, total uint32, row *E9Row) {
 	for i := range resps {
 		resps[i] = transport.NewResponder(a, uint16(5900+i), seed+int64(i))
 		resps[i].Deliver = deliver
+		if tel != nil {
+			resps[i].SetTracer(w.Tracer)
+		}
 	}
 	w.Peer = func(p *packet.Packet, at sim.Time) {
 		for _, resp := range resps {
@@ -162,6 +184,19 @@ func e9Point(name string, pct float64, seed int64, total uint32, row *E9Row) {
 		}
 		if w.NIC.Machine(nic.Egress) != nil {
 			inj.ScheduleOverlayTrap(nic.Egress, sim.Time(50*sim.Microsecond), "e9 injected trap")
+		}
+	}
+
+	// Observability: a dataplane tap captures the sweep point's TCP traffic
+	// for pcap export, where the architecture has an interposition point to
+	// host one (raw bypass has none — the paper's tcpdump gap).
+	var tap *sniff.Tap
+	if tel != nil {
+		if expr, err := sniff.Parse("tcp"); err == nil {
+			if tp, err := a.AttachTap(expr); err == nil {
+				tap = tp
+				tap.RegisterMetrics(tel.Registry, telemetry.Labels{"arch": name, "fault": fmt.Sprintf("%g", pct)})
+			}
 		}
 	}
 
@@ -213,4 +248,61 @@ func e9Point(name string, pct float64, seed int64, total uint32, row *E9Row) {
 	row.WireDup = inj.Tx.Duplicated + inj.Rx.Duplicated
 	row.WireReordered = inj.Tx.Reordered + inj.Rx.Reordered
 	row.RxFifoDrops = w.NIC.RxFifoDrop
+
+	if tel != nil {
+		e9Collect(tel, point, name, pct, w, inj, streams, resps, tap)
+	}
+}
+
+// e9Collect registers the world's metrics on the shared registry and stores
+// the sweep point's pcap and single-packet trace artifacts. Runs after the
+// world has drained, so reads need no synchronization with the engine.
+func e9Collect(tel *Telemetry, point, name string, pct float64, w *arch.World,
+	inj *faults.Injector, streams []*transport.Stream, resps []*transport.Responder, tap *sniff.Tap) {
+	labels := telemetry.Labels{"arch": name, "fault": fmt.Sprintf("%g", pct)}
+	w.RegisterMetrics(tel.Registry, labels)
+	inj.RegisterMetrics(tel.Registry, labels)
+	transport.RegisterStreamMetrics(tel.Registry, labels, func() []*transport.Stream { return streams })
+	for i, resp := range resps {
+		l := telemetry.Labels{"arch": name, "fault": fmt.Sprintf("%g", pct), "peer": strconv.Itoa(i)}
+		resp.RegisterResponderMetrics(tel.Registry, l)
+	}
+
+	if tap != nil && len(tap.Records()) > 0 {
+		var buf bytes.Buffer
+		if err := tap.WritePcap(&buf); err == nil {
+			tel.AddPcap(point, buf.Bytes())
+		}
+	}
+
+	// Pick the sweep point's exemplar packet journey: prefer the first
+	// stamped ID whose span crossed a fault event (it shows *why* delivery
+	// degraded), else the deepest span available.
+	tr := w.Tracer
+	if tr == nil {
+		return
+	}
+	ids := tr.IDs()
+	var pick uint64
+	var deepest int
+	for _, id := range ids {
+		span := tr.Trace(id)
+		hasFault := false
+		for _, ev := range span {
+			if ev.Layer == "faults" {
+				hasFault = true
+				break
+			}
+		}
+		if hasFault && len(span) >= 4 {
+			pick = id
+			break
+		}
+		if len(span) > deepest {
+			deepest, pick = len(span), id
+		}
+	}
+	if pick != 0 {
+		tel.AddTrace(point, tr.Format(pick))
+	}
 }

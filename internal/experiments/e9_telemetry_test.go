@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"norman/internal/sniff"
+)
+
+// TestE9TelemetryArtifacts pins the unified-telemetry acceptance criteria on
+// a fixed-seed E9 run: the shared registry renders a Prometheus dump spanning
+// at least five layers, every exported pcap round-trips through the package's
+// own reader, and at least one sweep point yields a single-packet journey
+// with four or more interposition points including a fault event.
+func TestE9TelemetryArtifacts(t *testing.T) {
+	t.Setenv("NORMAN_FAULT_SEED", "42")
+	tel := NewTelemetry()
+	rows, _ := RunE9Telemetry(0.05, tel)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+
+	// (a) Prometheus dump with >= 5 layers.
+	layers := tel.Registry.Layers()
+	if len(layers) < 5 {
+		t.Fatalf("registry spans %d layers, want >= 5: %v", len(layers), layers)
+	}
+	prom := tel.Registry.RenderPrometheus()
+	for _, want := range []string{
+		"# TYPE norman_nic_tx_frames counter",
+		"# TYPE norman_faults_wire_lost counter",
+		"# TYPE norman_transport_retransmits counter",
+		"# TYPE norman_sim_events_fired counter",
+		"# TYPE norman_host_cpu_busy_seconds gauge",
+		"# TYPE norman_trace_ids_stamped counter",
+		`arch="kopi"`,
+		`fault="100"`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus dump missing %q", want)
+		}
+	}
+
+	// (b) every exported pcap parses with the test-local reader and holds
+	// real frames. Architectures with an interposition point must export.
+	names := tel.PcapNames()
+	if len(names) == 0 {
+		t.Fatal("no pcaps exported")
+	}
+	sawKopi := false
+	for _, n := range names {
+		if strings.HasPrefix(n, "bypass-") {
+			t.Errorf("bypass has no tap interposition point, yet exported pcap %q", n)
+		}
+		if strings.HasPrefix(n, "kopi-") {
+			sawKopi = true
+		}
+		recs, err := sniff.ReadPcap(bytes.NewReader(tel.Pcap(n)))
+		if err != nil {
+			t.Fatalf("pcap %s does not parse: %v", n, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("pcap %s is empty", n)
+		}
+		for _, r := range recs {
+			if r.Pkt.TCP == nil {
+				t.Fatalf("pcap %s holds a non-TCP frame despite the tcp filter", n)
+			}
+		}
+	}
+	if !sawKopi {
+		t.Fatalf("kopi must export a pcap: %v", names)
+	}
+
+	// (c) at least one sweep point's exemplar trace shows a >=4-point
+	// journey crossing the fault layer.
+	found := false
+	for _, n := range tel.TraceNames() {
+		tr := tel.Trace(n)
+		lines := strings.Count(tr, "\n") // header line + one line per event
+		if lines-1 >= 4 && strings.Contains(tr, "faults") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no trace with >=4 interposition points and a fault event; traces: %v", tel.TraceNames())
+	}
+}
+
+// TestE9TelemetryDeterminism extends the worker-width contract to the
+// observability artifacts: the rendered registry, every pcap blob and every
+// exemplar trace must be byte-identical at any pool width.
+func TestE9TelemetryDeterminism(t *testing.T) {
+	t.Setenv("NORMAN_FAULT_SEED", "7")
+
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	seq := NewTelemetry()
+	RunE9Telemetry(0.05, seq)
+
+	SetWorkers(8)
+	wide := NewTelemetry()
+	RunE9Telemetry(0.05, wide)
+
+	if a, b := seq.Registry.RenderPrometheus(), wide.Registry.RenderPrometheus(); a != b {
+		t.Fatalf("prometheus render differs between 1 and 8 workers:\n%s\n---\n%s", a, b)
+	}
+	if a, b := seq.Registry.RenderJSON(), wide.Registry.RenderJSON(); a != b {
+		t.Fatal("json render differs between 1 and 8 workers")
+	}
+	an, bn := seq.PcapNames(), wide.PcapNames()
+	if strings.Join(an, ",") != strings.Join(bn, ",") {
+		t.Fatalf("pcap sets differ: %v vs %v", an, bn)
+	}
+	for _, n := range an {
+		if !bytes.Equal(seq.Pcap(n), wide.Pcap(n)) {
+			t.Fatalf("pcap %s differs between worker widths", n)
+		}
+	}
+	at, bt := seq.TraceNames(), wide.TraceNames()
+	if strings.Join(at, ",") != strings.Join(bt, ",") {
+		t.Fatalf("trace sets differ: %v vs %v", at, bt)
+	}
+	for _, n := range at {
+		if seq.Trace(n) != wide.Trace(n) {
+			t.Fatalf("trace %s differs between worker widths:\n%s\n---\n%s", n, seq.Trace(n), wide.Trace(n))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"sort"
+	"sync"
+
+	"norman/internal/telemetry"
+)
+
+// Telemetry is the observability sink an experiment fills when the caller
+// wants artifacts beyond the result table: a shared labeled-metrics registry
+// (each world registers under its own arch/fault labels, so rendering is
+// byte-identical at any worker width), pcap blobs from dataplane taps, and
+// rendered single-packet lifecycle traces.
+type Telemetry struct {
+	// Registry collects every world's metrics. Safe for concurrent
+	// registration from experiment workers.
+	Registry *telemetry.Registry
+
+	mu     sync.Mutex
+	pcaps  map[string][]byte
+	traces map[string]string
+}
+
+// NewTelemetry builds an empty sink.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{
+		Registry: telemetry.NewRegistry(),
+		pcaps:    map[string][]byte{},
+		traces:   map[string]string{},
+	}
+}
+
+// AddPcap stores a pcap blob under a sweep-point name.
+func (t *Telemetry) AddPcap(name string, b []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pcaps[name] = b
+}
+
+// Pcap returns the blob stored under name (nil if absent).
+func (t *Telemetry) Pcap(name string) []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pcaps[name]
+}
+
+// PcapNames lists stored pcaps in sorted order.
+func (t *Telemetry) PcapNames() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.pcaps))
+	for n := range t.pcaps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddTrace stores a rendered packet journey under a sweep-point name.
+func (t *Telemetry) AddTrace(name, rendered string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traces[name] = rendered
+}
+
+// Trace returns the rendered journey stored under name ("" if absent).
+func (t *Telemetry) Trace(name string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traces[name]
+}
+
+// TraceNames lists stored traces in sorted order.
+func (t *Telemetry) TraceNames() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.traces))
+	for n := range t.traces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

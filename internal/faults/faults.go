@@ -28,6 +28,7 @@ import (
 	"norman/internal/nic"
 	"norman/internal/packet"
 	"norman/internal/sim"
+	"norman/internal/telemetry"
 )
 
 // WireConfig describes the fault model of one direction of the wire. All
@@ -99,6 +100,10 @@ type Injector struct {
 	txRNG *sim.RNG
 	rxRNG *sim.RNG
 
+	// tracer, when set via SetTracer, records a span event for every fault
+	// decision that touches a traced packet.
+	tracer *telemetry.Tracer
+
 	Tx WireStats
 	Rx WireStats
 	// RingBursts counts pressure bursts applied.
@@ -120,6 +125,48 @@ func New(eng *sim.Engine, n *nic.NIC, llc *cache.LLC, cfg Config) *Injector {
 	}
 }
 
+// SetTracer attaches a packet-lifecycle tracer: every fault decision that
+// hits a traced packet (loss, corruption, reorder, duplicate) becomes a span
+// event in that packet's journey, which is how a single-packet trace shows
+// *why* a frame vanished rather than just that it did.
+func (i *Injector) SetTracer(tr *telemetry.Tracer) { i.tracer = tr }
+
+// trace records a fault span event for p when tracing is on.
+func (i *Injector) trace(p *packet.Packet, point, note string) {
+	if i.tracer == nil || p.Meta.Trace == 0 {
+		return
+	}
+	i.tracer.Record(p.Meta.Trace, i.eng.Now(), "faults", point, note)
+}
+
+// RegisterMetrics exposes the injector's fault counters on a registry.
+func (i *Injector) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
+	for _, d := range []struct {
+		dir string
+		st  *WireStats
+	}{{"tx", &i.Tx}, {"rx", &i.Rx}} {
+		st := d.st
+		l := telemetry.Labels{"dir": d.dir}
+		for k, v := range labels {
+			l[k] = v
+		}
+		r.Counter(telemetry.Desc{Layer: "faults", Name: "wire_frames", Help: "frames offered to the faulty link", Unit: "frames"},
+			l, func() uint64 { return st.Frames })
+		r.Counter(telemetry.Desc{Layer: "faults", Name: "wire_lost", Help: "frames silently lost in flight", Unit: "frames"},
+			l, func() uint64 { return st.Lost })
+		r.Counter(telemetry.Desc{Layer: "faults", Name: "wire_corrupted", Help: "frames corrupted and dropped by the receiver's FCS check", Unit: "frames"},
+			l, func() uint64 { return st.Corrupted })
+		r.Counter(telemetry.Desc{Layer: "faults", Name: "wire_reordered", Help: "frames delayed past their successors", Unit: "frames"},
+			l, func() uint64 { return st.Reordered })
+		r.Counter(telemetry.Desc{Layer: "faults", Name: "wire_duplicated", Help: "frames delivered twice", Unit: "frames"},
+			l, func() uint64 { return st.Duplicated })
+	}
+	r.Counter(telemetry.Desc{Layer: "faults", Name: "ring_bursts", Help: "NIC pressure bursts applied (RX FIFO squeeze + DDIO antagonist)", Unit: "bursts"},
+		labels, func() uint64 { return i.RingBursts })
+	r.Counter(telemetry.Desc{Layer: "faults", Name: "overlay_traps", Help: "runtime traps armed into loaded overlay machines", Unit: "traps"},
+		labels, func() uint64 { return i.OverlayTraps })
+}
+
 // AttachTx splices the Tx wire-fault model into the NIC's transmit hand-off,
 // wrapping whatever OnTransmit hook the architecture installed. Call after
 // the architecture is fully constructed.
@@ -133,7 +180,7 @@ func (i *Injector) WrapTx(next func(p *packet.Packet, at sim.Time)) func(p *pack
 		next = func(*packet.Packet, sim.Time) {}
 	}
 	return func(p *packet.Packet, at sim.Time) {
-		i.apply(i.cfg.Tx, i.txRNG, &i.Tx, p, func(pp *packet.Packet, extra sim.Duration) {
+		i.apply(i.cfg.Tx, i.txRNG, &i.Tx, "tx", p, func(pp *packet.Packet, extra sim.Duration) {
 			if extra <= 0 {
 				next(pp, at)
 				return
@@ -151,7 +198,7 @@ func (i *Injector) WrapRx(next func(p *packet.Packet)) func(p *packet.Packet) {
 		next = func(*packet.Packet) {}
 	}
 	return func(p *packet.Packet) {
-		i.apply(i.cfg.Rx, i.rxRNG, &i.Rx, p, func(pp *packet.Packet, extra sim.Duration) {
+		i.apply(i.cfg.Rx, i.rxRNG, &i.Rx, "rx", p, func(pp *packet.Packet, extra sim.Duration) {
 			if extra <= 0 {
 				next(pp)
 				return
@@ -165,7 +212,7 @@ func (i *Injector) WrapRx(next func(p *packet.Packet)) func(p *packet.Packet) {
 // zero times (loss/corruption), once (clean or reordered), or twice
 // (duplication); the RNG draw order is fixed so fault patterns depend only
 // on the seed and the frame sequence, never on scheduling.
-func (i *Injector) apply(cfg WireConfig, rng *sim.RNG, st *WireStats, p *packet.Packet,
+func (i *Injector) apply(cfg WireConfig, rng *sim.RNG, st *WireStats, dir string, p *packet.Packet,
 	deliver func(pp *packet.Packet, extra sim.Duration)) {
 	st.Frames++
 	if !cfg.enabled() {
@@ -174,6 +221,7 @@ func (i *Injector) apply(cfg WireConfig, rng *sim.RNG, st *WireStats, p *packet.
 	}
 	if cfg.Loss > 0 && rng.Float64() < cfg.Loss {
 		st.Lost++
+		i.trace(p, "wire_lost", "dir="+dir)
 		return
 	}
 	if cfg.Corrupt > 0 && rng.Float64() < cfg.Corrupt {
@@ -181,6 +229,7 @@ func (i *Injector) apply(cfg WireConfig, rng *sim.RNG, st *WireStats, p *packet.
 		// serialization before the hand-off); the receiver's FCS check eats
 		// it, so past this point corruption behaves as loss.
 		st.Corrupted++
+		i.trace(p, "wire_corrupted", "dir="+dir)
 		return
 	}
 	var extra sim.Duration
@@ -193,6 +242,7 @@ func (i *Injector) apply(cfg WireConfig, rng *sim.RNG, st *WireStats, p *packet.
 		// Uniform in [d, 2d) so back-to-back reordered frames do not simply
 		// form a second in-order queue.
 		extra = d + sim.Duration(rng.Int63()%int64(d))
+		i.trace(p, "wire_reordered", "dir="+dir)
 	}
 	if cfg.Duplicate > 0 && rng.Float64() < cfg.Duplicate {
 		st.Duplicated++
@@ -200,6 +250,7 @@ func (i *Injector) apply(cfg WireConfig, rng *sim.RNG, st *WireStats, p *packet.
 		if dd <= 0 {
 			dd = 5 * sim.Microsecond
 		}
+		i.trace(p, "wire_duplicated", "dir="+dir)
 		deliver(p.Clone(), extra+dd)
 	}
 	deliver(p, extra)

@@ -1,0 +1,29 @@
+package mem
+
+import "norman/internal/telemetry"
+
+// RegisterMetrics exposes a descriptor ring's producer/consumer counters and
+// instantaneous occupancy on a registry. name distinguishes rings sharing a
+// label set (e.g. "tx" vs "rx") and becomes a "ring" label.
+func (r *Ring) RegisterMetrics(reg *telemetry.Registry, labels telemetry.Labels, name string) {
+	l := telemetry.Labels{"ring": name}
+	for k, v := range labels {
+		l[k] = v
+	}
+	reg.Counter(telemetry.Desc{Layer: "mem", Name: "ring_produced", Help: "descriptors pushed into the ring", Unit: "descriptors"},
+		l, func() uint64 { produced, _, _ := r.Counters(); return produced })
+	reg.Counter(telemetry.Desc{Layer: "mem", Name: "ring_consumed", Help: "descriptors popped from the ring", Unit: "descriptors"},
+		l, func() uint64 { _, consumed, _ := r.Counters(); return consumed })
+	reg.Counter(telemetry.Desc{Layer: "mem", Name: "ring_dropped", Help: "push attempts rejected because the ring was full", Unit: "descriptors"},
+		l, func() uint64 { _, _, dropped := r.Counters(); return dropped })
+	reg.Gauge(telemetry.Desc{Layer: "mem", Name: "ring_depth", Help: "descriptors currently in the ring", Unit: "descriptors"},
+		l, func() float64 { return float64(r.Len()) })
+}
+
+// RegisterMetrics exposes a notification queue's counters on a registry.
+func (q *NotifyQueue) RegisterMetrics(reg *telemetry.Registry, labels telemetry.Labels) {
+	reg.Counter(telemetry.Desc{Layer: "mem", Name: "notify_pushed", Help: "notifications appended to the queue", Unit: "notifications"},
+		labels, func() uint64 { pushed, _ := q.Counters(); return pushed })
+	reg.Counter(telemetry.Desc{Layer: "mem", Name: "notify_dropped", Help: "notifications dropped because the queue was full", Unit: "notifications"},
+		labels, func() uint64 { _, dropped := q.Counters(); return dropped })
+}

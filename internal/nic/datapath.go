@@ -1,6 +1,8 @@
 package nic
 
 import (
+	"fmt"
+
 	"norman/internal/mem"
 	"norman/internal/overlay"
 	"norman/internal/packet"
@@ -140,6 +142,9 @@ func (n *NIC) drainTx(c *Conn) {
 	}
 	p := d.Pkt
 	frame := p.FrameLen()
+	if n.tracer != nil {
+		n.trace(p, now, "ring", "tx_dequeue", fmt.Sprintf("conn=%d slot=%d", c.ID, index))
+	}
 	if c.rlRate > 0 {
 		c.rlTokens -= float64(frame)
 	}
@@ -164,9 +169,15 @@ func (n *NIC) drainTx(c *Conn) {
 		if n.egress != nil {
 			verdict, cycles, trap := n.egress.Run(p, env{n: n, now: now, c: c})
 			if trap != nil {
+				if n.tracer != nil {
+					n.trace(p, now, "nic", "trap_fallback", "pipeline=egress: "+trap.Error())
+				}
 				verdict, cycles = n.trapFallback(Egress, p, env{n: n, now: now, c: c})
 			}
 			lat += n.model.NICCycles(cycles)
+			if n.tracer != nil {
+				n.trace(p, now, "nic", "pipeline_egress", fmt.Sprintf("verdict=%v cycles=%d", verdict, cycles))
+			}
 			if verdict == overlay.VerdictDrop {
 				n.TxDropVerdict++
 				n.txSlotFree()
@@ -273,6 +284,9 @@ func (n *NIC) transmit(p *packet.Packet, now sim.Time, freeSlot bool) {
 	_, done := n.wireTx.Acquire(now, n.model.Wire(frame))
 	n.TxFrames++
 	n.TxBytes += uint64(frame)
+	if n.tracer != nil {
+		n.trace(p, now, "wire", "tx", fmt.Sprintf("len=%d", frame))
+	}
 	if n.tap != nil {
 		n.tap.Offer(p, now)
 	}
@@ -317,8 +331,15 @@ func (n *NIC) DeliverFromWire(p *packet.Packet) {
 func (n *NIC) rxFrame(p *packet.Packet) {
 	now := n.eng.Now()
 	n.RxWire++
+	if n.tracer != nil {
+		if p.Meta.Trace == 0 {
+			p.Meta.Trace = n.tracer.StampID()
+		}
+		n.trace(p, now, "nic", "rx_wire", fmt.Sprintf("len=%d", p.FrameLen()))
+	}
 	if n.rxInflight >= n.rxWindow {
 		n.RxFifoDrop++
+		n.trace(p, now, "nic", "rx_fifo_drop", "")
 		return
 	}
 	if n.Down(now) {
@@ -347,9 +368,15 @@ func (n *NIC) rxFrame(p *packet.Packet) {
 	if n.ingress != nil {
 		verdict, cycles, trap := n.ingress.Run(p, env{n: n, now: now, c: c})
 		if trap != nil {
+			if n.tracer != nil {
+				n.trace(p, now, "nic", "trap_fallback", "pipeline=ingress: "+trap.Error())
+			}
 			verdict, cycles = n.trapFallback(Ingress, p, env{n: n, now: now, c: c})
 		}
 		lat += n.model.NICCycles(cycles)
+		if n.tracer != nil {
+			n.trace(p, now, "nic", "pipeline_ingress", fmt.Sprintf("verdict=%v cycles=%d", verdict, cycles))
+		}
 		if verdict == overlay.VerdictDrop {
 			n.RxDropVerdict++
 			n.rxInflight--
@@ -389,9 +416,15 @@ func (n *NIC) rxFrame(p *packet.Packet) {
 			if err := c.RX.Push(mem.Desc{Pkt: p, Produced: p.Meta.Enqueued}); err != nil {
 				n.RxDropRing++
 				c.RxDropped++
+				if n.tracer != nil {
+					n.trace(p, now, "ring", "rx_drop_full", fmt.Sprintf("conn=%d", c.ID))
+				}
 				return
 			}
 			c.RxDelivered++
+			if n.tracer != nil {
+				n.trace(p, now, "ring", "rx_enqueue", fmt.Sprintf("conn=%d slot=%d", c.ID, index))
+			}
 			if c.NotifyRx {
 				n.pushNotify(c, mem.NotifyRxReady, now)
 			}

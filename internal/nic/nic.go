@@ -23,6 +23,7 @@ import (
 	"norman/internal/qos"
 	"norman/internal/sim"
 	"norman/internal/sniff"
+	"norman/internal/telemetry"
 	"norman/internal/timing"
 )
 
@@ -156,6 +157,11 @@ type NIC struct {
 	classifier func(*packet.Packet) uint32 // egress class assignment; nil = Meta.Class as-is
 
 	tap *sniff.Tap
+
+	// tracer, when non-nil, receives packet-lifecycle span events from
+	// every NIC interposition point (ring dequeue, pipeline verdicts, trap
+	// fallbacks, wire TX, RX DMA). Nil keeps the hot path branch-only.
+	tracer *telemetry.Tracer
 
 	sramBudget int
 	sramUsed   int
@@ -331,6 +337,22 @@ func (n *NIC) SetTap(t *sniff.Tap) { n.tap = t }
 
 // Tap returns the installed tap.
 func (n *NIC) Tap() *sniff.Tap { return n.tap }
+
+// SetTracer installs (or, with nil, removes) the packet-lifecycle tracer
+// the datapath records span events into.
+func (n *NIC) SetTracer(t *telemetry.Tracer) { n.tracer = t }
+
+// Tracer returns the installed packet-lifecycle tracer, nil when disabled.
+func (n *NIC) Tracer() *telemetry.Tracer { return n.tracer }
+
+// trace records one span event when tracing is enabled; a nil tracer or an
+// unstamped packet costs exactly one branch.
+func (n *NIC) trace(p *packet.Packet, at sim.Time, layer, point, note string) {
+	if n.tracer == nil || p.Meta.Trace == 0 {
+		return
+	}
+	n.tracer.Record(p.Meta.Trace, at, layer, point, note)
+}
 
 // SRAM returns used and budget bytes, including loaded programs.
 func (n *NIC) SRAM() (used, budget int) {

@@ -1,0 +1,45 @@
+package nic
+
+import "norman/internal/telemetry"
+
+// RegisterMetrics exposes the NIC's dataplane counters and SRAM occupancy
+// through a telemetry registry. The NIC keeps plain uint64 fields on the hot
+// path; the registry reads them lazily through closures at render time, so
+// registration adds no per-packet cost.
+func (n *NIC) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
+	counters := []struct {
+		name, help string
+		v          *uint64
+	}{
+		{"rx_wire", "frames that arrived from the wire", &n.RxWire},
+		{"rx_drop_nosteer", "frames dropped for lack of a steering rule (no default conn)", &n.RxDropNoSteer},
+		{"rx_drop_ring", "frames dropped because the destination RX ring was full", &n.RxDropRing},
+		{"rx_drop_verdict", "frames dropped by an ingress overlay verdict", &n.RxDropVerdict},
+		{"rx_slow_path", "frames punted to the software slow path", &n.RxSlowPath},
+		{"rx_outage_drop", "frames dropped while the dataplane was faulted down", &n.RxOutageDrop},
+		{"rx_fifo_drop", "frames dropped at the MAC FIFO under DMA backpressure", &n.RxFifoDrop},
+		{"tx_frames", "frames transmitted onto the wire", &n.TxFrames},
+		{"tx_drop_verdict", "frames dropped by an egress overlay verdict", &n.TxDropVerdict},
+		{"tx_bytes", "bytes transmitted onto the wire", &n.TxBytes},
+		{"dma_desc_hit", "descriptor fetches satisfied by the on-NIC shadow (no PCIe round trip)", &n.DMADescHit},
+		{"dma_desc_miss", "descriptor fetches that crossed PCIe to host memory", &n.DMADescMiss},
+		{"trap_fallbacks", "overlay runtime traps absorbed by falling back to the last-good chain", &n.TrapFallbacks},
+	}
+	for _, c := range counters {
+		v := c.v
+		unit := "frames"
+		if c.name == "tx_bytes" {
+			unit = "bytes"
+		} else if c.name == "dma_desc_hit" || c.name == "dma_desc_miss" {
+			unit = "fetches"
+		} else if c.name == "trap_fallbacks" {
+			unit = "traps"
+		}
+		r.Counter(telemetry.Desc{Layer: "nic", Name: c.name, Help: c.help, Unit: unit},
+			labels, func() uint64 { return *v })
+	}
+	r.Gauge(telemetry.Desc{Layer: "nic", Name: "sram_used_bytes", Help: "on-NIC SRAM consumed by connections, steering entries and overlay programs", Unit: "bytes"},
+		labels, func() float64 { used, _ := n.SRAM(); return float64(used) })
+	r.Gauge(telemetry.Desc{Layer: "nic", Name: "sram_budget_bytes", Help: "total on-NIC SRAM budget", Unit: "bytes"},
+		labels, func() float64 { _, budget := n.SRAM(); return float64(budget) })
+}

@@ -1,0 +1,27 @@
+package qos
+
+import "norman/internal/telemetry"
+
+// StatsSource is any qdisc that can report aggregate Stats (PFIFO, DRR, WFQ,
+// TokenBucket — everything here except the composite Prio, whose bands each
+// implement it individually).
+type StatsSource interface {
+	Qdisc
+	Stats() Stats
+}
+
+// RegisterMetrics exposes a qdisc's aggregate counters and instantaneous
+// queue depth on a registry. Stats are read lazily at render time.
+func RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels, q StatsSource) {
+	counter := func(name, help, unit string, pick func(Stats) uint64) {
+		r.Counter(telemetry.Desc{Layer: "qos", Name: name, Help: help, Unit: unit},
+			labels, func() uint64 { return pick(q.Stats()) })
+	}
+	counter("enq_packets", "packets accepted by the scheduler", "packets", func(s Stats) uint64 { return s.EnqPackets })
+	counter("enq_bytes", "bytes accepted by the scheduler", "bytes", func(s Stats) uint64 { return s.EnqBytes })
+	counter("deq_packets", "packets released toward the wire", "packets", func(s Stats) uint64 { return s.DeqPackets })
+	counter("deq_bytes", "bytes released toward the wire", "bytes", func(s Stats) uint64 { return s.DeqBytes })
+	counter("drop_packets", "packets dropped at enqueue (queue full)", "packets", func(s Stats) uint64 { return s.DropPackets })
+	r.Gauge(telemetry.Desc{Layer: "qos", Name: "queue_depth", Help: "packets currently queued in the scheduler", Unit: "packets"},
+		labels, func() float64 { return float64(q.Len()) })
+}

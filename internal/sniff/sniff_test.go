@@ -2,11 +2,13 @@ package sniff
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"norman/internal/packet"
 	"norman/internal/sim"
+	"norman/internal/telemetry"
 )
 
 func udp(src, dst packet.IPv4, sport, dport uint16) *packet.Packet {
@@ -212,5 +214,74 @@ func TestPcapRoundTripQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTapEvictionAccountingInvariant churns a small tap past its limit and
+// checks the conservation law the telemetry layer reports: every matched
+// packet is either still retained or has been evicted, at every step —
+// including the boundary where the buffer is exactly full.
+func TestTapEvictionAccountingInvariant(t *testing.T) {
+	const limit = 4
+	tap := NewTap(MustParse("udp"), limit)
+	reg := telemetry.NewRegistry()
+	tap.RegisterMetrics(reg, telemetry.Labels{"tap": "test"})
+
+	for i := 0; i < 3*limit; i++ {
+		tap.Offer(udp(1, 2, uint16(i), 53), sim.Time(i))
+		seen, matched, evicted := tap.Counters()
+		if got := uint64(len(tap.Records())) + evicted; matched != got {
+			t.Fatalf("step %d: matched=%d but retained+evicted=%d", i, matched, got)
+		}
+		if seen != uint64(i+1) {
+			t.Fatalf("step %d: seen=%d", i, seen)
+		}
+		// No eviction until the buffer is past full.
+		if i < limit && evicted != 0 {
+			t.Fatalf("step %d: premature eviction (%d)", i, evicted)
+		}
+		if i >= limit && evicted != uint64(i+1-limit) {
+			t.Fatalf("step %d: evicted=%d, want %d", i, evicted, i+1-limit)
+		}
+	}
+	if got := len(tap.Records()); got != limit {
+		t.Fatalf("retained %d, want %d", got, limit)
+	}
+
+	// The registry closures read the same live accounting.
+	prom := reg.RenderPrometheus()
+	for _, want := range []string{
+		`norman_sniff_matched{tap="test"} 12`,
+		`norman_sniff_evicted{tap="test"} 8`,
+		`norman_sniff_retained{tap="test"} 4`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus render missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// TestTapWritePcap pins the Tap-level pcap shorthand: the stream it writes
+// round-trips through ReadPcap with the retained records intact.
+func TestTapWritePcap(t *testing.T) {
+	tap := NewTap(nil, 8)
+	for i := 0; i < 3; i++ {
+		tap.Offer(udp(1, 2, uint16(100+i), 53), sim.Time(i))
+	}
+	var buf bytes.Buffer
+	if err := tap.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("round-tripped %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Pkt.UDP == nil || r.Pkt.UDP.SrcPort != uint16(100+i) {
+			t.Fatalf("record %d corrupted: %+v", i, r.Pkt)
+		}
 	}
 }

@@ -1,0 +1,23 @@
+package sniff
+
+import (
+	"io"
+
+	"norman/internal/telemetry"
+)
+
+// RegisterMetrics exposes the tap's capture accounting on a registry.
+func (t *Tap) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
+	r.Counter(telemetry.Desc{Layer: "sniff", Name: "seen", Help: "packets offered to the tap by its interposition point", Unit: "packets"},
+		labels, func() uint64 { return t.seen })
+	r.Counter(telemetry.Desc{Layer: "sniff", Name: "matched", Help: "packets that matched the tap's filter expression", Unit: "packets"},
+		labels, func() uint64 { return t.matched })
+	r.Counter(telemetry.Desc{Layer: "sniff", Name: "evicted", Help: "matched records evicted because the capture buffer was full", Unit: "packets"},
+		labels, func() uint64 { return t.evicted })
+	r.Gauge(telemetry.Desc{Layer: "sniff", Name: "retained", Help: "records currently held in the capture buffer", Unit: "packets"},
+		labels, func() float64 { return float64(len(t.records)) })
+}
+
+// WritePcap writes the tap's retained records as a classic pcap stream —
+// shorthand for WritePcap(w, t.Records()).
+func (t *Tap) WritePcap(w io.Writer) error { return WritePcap(w, t.records) }

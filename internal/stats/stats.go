@@ -12,7 +12,11 @@ import (
 	"norman/internal/sim"
 )
 
-// Counter is a monotonically increasing event count.
+// Counter is a monotonically increasing event count. It deliberately has no
+// Reset: monotonicity is the property telemetry renderers and rate
+// calculations rely on (a Prometheus counter that goes backwards corrupts
+// every rate() over it). Measurement loops that want per-interval counts
+// should use ResettableCounter and say so.
 type Counter struct {
 	n uint64
 }
@@ -26,8 +30,15 @@ func (c *Counter) Inc() { c.n++ }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n }
 
+// ResettableCounter is a Counter that a measurement loop may zero between
+// intervals. It is a distinct type so a reset-capable count can never be
+// registered where a monotonic Counter is documented.
+type ResettableCounter struct {
+	Counter
+}
+
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.n = 0 }
+func (c *ResettableCounter) Reset() { c.n = 0 }
 
 // Histogram records durations in logarithmic buckets (about 4.6% relative
 // resolution) between 1 ns and ~18 s, with exact tracking of count, sum, min
@@ -90,6 +101,9 @@ func (h *Histogram) Mean() sim.Duration {
 	}
 	return sim.Duration(int64(h.sum) / int64(h.count))
 }
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() sim.Duration { return h.sum }
 
 // Min returns the smallest observation.
 func (h *Histogram) Min() sim.Duration { return h.min }

@@ -15,6 +15,15 @@ func TestCounter(t *testing.T) {
 	if c.Value() != 5 {
 		t.Fatalf("value = %d", c.Value())
 	}
+}
+
+func TestResettableCounter(t *testing.T) {
+	var c ResettableCounter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
 	c.Reset()
 	if c.Value() != 0 {
 		t.Fatal("reset")
@@ -77,6 +86,65 @@ func TestHistogramEdgeCases(t *testing.T) {
 	h.Reset()
 	if h.Count() != 0 {
 		t.Fatal("reset")
+	}
+}
+
+// TestHistogramEmptyQuantiles pins the contract for a histogram with no
+// observations: every quantile, and every summary statistic, is exactly
+// zero — no NaNs, no stale minima.
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+	if h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty sum/min/max: %v %v %v", h.Sum(), h.Min(), h.Max())
+	}
+}
+
+// TestHistogramSingleSample: with one observation, every quantile collapses
+// to that sample (interpolation must clamp to [Min, Max], not report bucket
+// edges).
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	d := 137 * sim.Microsecond
+	h.Observe(d)
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != d {
+			t.Fatalf("single-sample Quantile(%v) = %v, want %v", q, v, d)
+		}
+	}
+	if h.Mean() != d || h.Sum() != d || h.Min() != d || h.Max() != d {
+		t.Fatalf("single-sample stats: mean=%v sum=%v min=%v max=%v", h.Mean(), h.Sum(), h.Min(), h.Max())
+	}
+}
+
+// TestHistogramMaxBucketOverflow: observations past the top bucket's range
+// (~18 s at 512 log buckets) all land in the final bucket; quantiles stay
+// finite and clamp to the true observed maximum, and Sum stays exact.
+func TestHistogramMaxBucketOverflow(t *testing.T) {
+	var h Histogram
+	huge := 100 * sim.Second // far beyond bucketLow(nBuckets-1)
+	h.Observe(huge)
+	h.Observe(2 * huge)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 2*huge {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if v := h.Quantile(0.999); v < huge || v > 2*huge {
+		t.Fatalf("overflow quantile %v outside [%v, %v]", v, huge, 2*huge)
+	}
+	if h.Sum() != 3*huge {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// The interpolated p50 must also never exceed the observed range even
+	// though the containing bucket's nominal upper edge does.
+	if v := h.P50(); v < huge || v > 2*huge {
+		t.Fatalf("p50 %v outside observed range", v)
 	}
 }
 

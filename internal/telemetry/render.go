@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE pair per metric
+// name, then one sample line per label set. Output is sorted by metric key,
+// so two registries with the same contents render byte-identically — the
+// property the cross-worker-width determinism tests pin.
+//
+// Histograms expose the summary-style derived series a scrape actually
+// wants from a latency distribution: _count, _sum (seconds), and fixed
+// quantile samples interpolated by stats.Histogram.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.snapshot()
+	lastName := ""
+	for _, m := range metrics {
+		name := m.desc.FullName()
+		if name != lastName {
+			unit := ""
+			if m.desc.Unit != "" {
+				unit = " [" + m.desc.Unit + "]"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s%s\n# TYPE %s %s\n",
+				name, m.desc.Help, unit, name, promType(m.desc.Kind)); err != nil {
+				return err
+			}
+			lastName = name
+		}
+		if err := writePromSample(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promType maps a Kind to its exposition type; histograms render as
+// summaries because we export interpolated quantiles, not cumulative
+// buckets.
+func promType(k Kind) string {
+	if k == KindHistogram {
+		return "summary"
+	}
+	return k.String()
+}
+
+func writePromSample(w io.Writer, m *metric) error {
+	name := m.desc.FullName()
+	if m.hist == nil {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, m.labels.render(), fmtValue(m.value()))
+		return err
+	}
+	h := m.hist()
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, m.labels.render(), h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, m.labels.render(), fmtValue(h.Sum().Seconds())); err != nil {
+		return err
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		l := m.labels.clone()
+		if l == nil {
+			l = Labels{}
+		}
+		l["quantile"] = fmtValue(q)
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", name, l.render(), fmtValue(h.Quantile(q).Seconds())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonMetric is the JSON rendering of one metric instance.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Layer  string            `json:"layer"`
+	Kind   string            `json:"kind"`
+	Unit   string            `json:"unit,omitempty"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Count  *uint64           `json:"count,omitempty"`
+	P50    *float64          `json:"p50_seconds,omitempty"`
+	P99    *float64          `json:"p99_seconds,omitempty"`
+}
+
+// WriteJSON renders the registry as a sorted JSON array, one element per
+// metric instance — the form nnetstat's live view and scripts consume.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	metrics := r.snapshot()
+	out := make([]jsonMetric, 0, len(metrics))
+	for _, m := range metrics {
+		jm := jsonMetric{
+			Name:   m.desc.FullName(),
+			Layer:  m.desc.Layer,
+			Kind:   m.desc.Kind.String(),
+			Unit:   m.desc.Unit,
+			Help:   m.desc.Help,
+			Labels: m.labels,
+		}
+		if m.hist != nil {
+			h := m.hist()
+			c := h.Count()
+			p50, p99 := h.P50().Seconds(), h.P99().Seconds()
+			jm.Count, jm.P50, jm.P99 = &c, &p50, &p99
+		} else {
+			v := m.value()
+			jm.Value = &v
+		}
+		out = append(out, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// RenderPrometheus is WritePrometheus into a string, for the ctl wire.
+func (r *Registry) RenderPrometheus() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+// RenderJSON is WriteJSON into a string, for the ctl wire.
+func (r *Registry) RenderJSON() string {
+	var b strings.Builder
+	_ = r.WriteJSON(&b)
+	return b.String()
+}

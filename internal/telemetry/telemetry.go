@@ -1,0 +1,271 @@
+// Package telemetry is Norman's unified observability layer: the
+// reproduction-side answer to the paper's core complaint that kernel bypass
+// destroys the ability to see what the network dataplane is doing. Where the
+// paper's §2 scenarios ask "which process is hammering the network?", this
+// package asks the same question of the simulation itself and gives every
+// other layer one place to answer it:
+//
+//   - a labeled metrics Registry (counters, gauges, histograms keyed by
+//     layer + name + labels) that nic, transport, qos, faults, ctl, mem,
+//     sniff and the host/world glue register into, with JSON and
+//     Prometheus-text renderers so one E9 run can be scraped like a real
+//     fleet host;
+//   - a packet-lifecycle Tracer (trace.go): a ring-buffered span recorder
+//     keyed by packet ID that each interposition point — host syscall layer,
+//     ring enqueue/dequeue, NIC pipeline, wire, fault injector, peer Rx —
+//     appends virtual-timestamped events to, so `ntcpdump -trace <id>`
+//     prints one packet's whole journey including fault and trap-fallback
+//     events.
+//
+// Everything here is deterministic: metric rendering sorts by key, trace IDs
+// are allocated in event order inside one world, and nothing reads wall
+// clocks — so telemetry output is byte-identical across experiment worker
+// widths, exactly like the tables it annotates.
+//
+// The registry deliberately reads values through closures instead of owning
+// hot-path counters: the dataplane keeps its plain uint64 fields (PR 1's
+// zero-alloc fast path is untouched) and registration publishes a view of
+// them, the same split a real NIC keeps between datapath registers and the
+// PCIe config space that exports them.
+package telemetry
+
+import (
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"norman/internal/stats"
+)
+
+// Kind is the metric type, mirroring the Prometheus exposition types.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// Labels attach dimensions to a metric instance (e.g. arch="kopi",
+// fault="2"). Rendering sorts label names, so any map order is fine.
+type Labels map[string]string
+
+// clone copies l so registrants can reuse one map across calls.
+func (l Labels) clone() Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// render returns the canonical `{k="v",...}` form, names sorted; empty
+// labels render as "".
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(l[k])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Desc names and documents one metric. FullName composes
+// "norman_<layer>_<name>"; OBSERVABILITY.md documents "<layer>_<name>" and a
+// test asserts the two never drift.
+type Desc struct {
+	Layer string // which subsystem owns the value: nic, transport, qos, ...
+	Name  string // metric name within the layer, snake_case
+	Help  string // one-line meaning
+	Unit  string // frames, bytes, seconds, conns, ...
+	Kind  Kind
+}
+
+// FullName returns the exposition name, "norman_<layer>_<name>".
+func (d Desc) FullName() string { return "norman_" + d.Layer + "_" + d.Name }
+
+// metric is one registered instance: a Desc plus labels plus a read-side
+// view of the live value.
+type metric struct {
+	desc   Desc
+	labels Labels
+	value  func() float64         // counter / gauge
+	hist   func() stats.Histogram // histogram snapshot (by value)
+}
+
+// Registry holds every registered metric. It is safe for concurrent
+// registration (parallel experiment workers publish their finished worlds
+// into one registry); reads happen at render time, after the worlds quiesce.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // key: FullName + rendered labels
+	order   []string           // insertion order, for stable duplicate checks
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// register stores m, replacing any previous metric with the same
+// name+labels (re-registration after a world reset is legal).
+func (r *Registry) register(m *metric) {
+	key := m.desc.FullName() + m.labels.render()
+	r.mu.Lock()
+	if _, dup := r.metrics[key]; !dup {
+		r.order = append(r.order, key)
+	}
+	r.metrics[key] = m
+	r.mu.Unlock()
+}
+
+// Counter registers a monotonically increasing value read through fn.
+func (r *Registry) Counter(d Desc, labels Labels, fn func() uint64) {
+	d.Kind = KindCounter
+	r.register(&metric{desc: d, labels: labels.clone(), value: func() float64 { return float64(fn()) }})
+}
+
+// Gauge registers a point-in-time value read through fn.
+func (r *Registry) Gauge(d Desc, labels Labels, fn func() float64) {
+	d.Kind = KindGauge
+	r.register(&metric{desc: d, labels: labels.clone(), value: fn})
+}
+
+// Histogram registers a distribution snapshot read through fn. The snapshot
+// is taken by value so rendering never races a live histogram.
+func (r *Registry) Histogram(d Desc, labels Labels, fn func() stats.Histogram) {
+	d.Kind = KindHistogram
+	r.register(&metric{desc: d, labels: labels.clone(), hist: fn})
+}
+
+// Has reports whether any instance of the metric named
+// "norman_<layer>_<name>" (or the bare "<layer>_<name>" form) is registered,
+// under any label set. OBSERVABILITY.md's drift test is built on this.
+func (r *Registry) Has(name string) bool {
+	if !strings.HasPrefix(name, "norman_") {
+		name = "norman_" + name
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key := range r.metrics {
+		if base, _, _ := strings.Cut(key, "{"); base == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Names returns the sorted set of distinct metric full names.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]bool{}
+	for key := range r.metrics {
+		base, _, _ := strings.Cut(key, "{")
+		seen[base] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Layers returns the sorted set of distinct layers with registered metrics.
+func (r *Registry) Layers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]bool{}
+	for _, m := range r.metrics {
+		seen[m.desc.Layer] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered metric instances.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.metrics)
+}
+
+// snapshot returns the metrics sorted by key for deterministic rendering.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*metric, len(keys))
+	for i, k := range keys {
+		out[i] = r.metrics[k]
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// DefaultTraceDepth is how many distinct packets a Tracer follows when
+// NORMAN_TRACE_DEPTH is unset.
+const DefaultTraceDepth = 256
+
+// DepthFromEnv resolves the tracer span-buffer depth from NORMAN_TRACE_DEPTH
+// (distinct packet IDs retained; oldest evicted beyond that). Unset, empty,
+// or unparsable values fall back to DefaultTraceDepth.
+func DepthFromEnv() int {
+	if v := os.Getenv("NORMAN_TRACE_DEPTH"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return DefaultTraceDepth
+}
+
+// fmtValue renders a float without trailing noise: integers print as
+// integers, everything else with enough precision to round-trip.
+func fmtValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

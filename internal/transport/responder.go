@@ -1,9 +1,12 @@
 package transport
 
 import (
+	"fmt"
+
 	"norman/internal/arch"
 	"norman/internal/packet"
 	"norman/internal/sim"
+	"norman/internal/telemetry"
 )
 
 // Responder is the remote endpoint: it consumes data segments arriving on
@@ -28,6 +31,10 @@ type Responder struct {
 	// injection (faults.Injector.WrapRx).
 	Deliver func(p *packet.Packet)
 
+	// tracer, when set via SetTracer, closes the lifecycle loop: a traced
+	// data segment gets a peer-side rx (or drop) span event.
+	tracer *telemetry.Tracer
+
 	Received  uint64 // in-order bytes delivered
 	AcksSent  uint64
 	DataDrops uint64
@@ -45,6 +52,17 @@ func NewResponder(a arch.Arch, dstPort uint16, seed int64) *Responder {
 	}
 }
 
+// SetTracer attaches a packet-lifecycle tracer for peer-side span events.
+func (r *Responder) SetTracer(tr *telemetry.Tracer) { r.tracer = tr }
+
+// trace records a peer-side span event for p when tracing is on.
+func (r *Responder) trace(p *packet.Packet, at sim.Time, point, note string) {
+	if r.tracer == nil || p.Meta.Trace == 0 {
+		return
+	}
+	r.tracer.Record(p.Meta.Trace, at, "peer", point, note)
+}
+
 // Recv is the wire-peer callback: feed it every frame that leaves the host.
 func (r *Responder) Recv(p *packet.Packet, at sim.Time) {
 	if p.TCP == nil || p.IP == nil || p.TCP.DstPort != r.port {
@@ -55,7 +73,11 @@ func (r *Responder) Recv(p *packet.Packet, at sim.Time) {
 	}
 	if r.DataLossProb > 0 && r.rng.Float64() < r.DataLossProb {
 		r.DataDrops++
+		r.trace(p, at, "rx_drop", "peer loss model")
 		return
+	}
+	if r.tracer != nil && p.Meta.Trace != 0 {
+		r.trace(p, at, "rx", fmt.Sprintf("seq=%d len=%d", p.TCP.Seq, p.PayloadLen))
 	}
 
 	start := p.TCP.Seq

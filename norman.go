@@ -35,6 +35,7 @@ import (
 	"norman/internal/kernel"
 	"norman/internal/packet"
 	"norman/internal/sim"
+	"norman/internal/telemetry"
 	"norman/internal/timing"
 )
 
@@ -130,6 +131,7 @@ type System struct {
 	w     *arch.World
 	mux   *host.Mux
 	rules []installedRule
+	reg   *telemetry.Registry
 }
 
 // installedRule remembers admin rule state for IPTablesList.
@@ -221,6 +223,25 @@ func (s *System) Ping(dst string, done func(rtt Duration, ok bool)) error {
 func (s *System) InjectInbound(c *Conn, payload int) {
 	s.a.DeliverWire(s.w.UDPFrom(c.flow, payload))
 }
+
+// EnableTelemetry attaches the unified observability layer: a labeled
+// metrics registry covering every layer of the world (host, sim, mem, nic,
+// trace) and a packet-lifecycle tracer whose span depth comes from
+// NORMAN_TRACE_DEPTH. Idempotent; returns the registry either way.
+func (s *System) EnableTelemetry() *telemetry.Registry {
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+		s.w.EnableTracing(0)
+		s.w.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
+	}
+	return s.reg
+}
+
+// Telemetry returns the metrics registry, nil before EnableTelemetry.
+func (s *System) Telemetry() *telemetry.Registry { return s.reg }
+
+// Tracer returns the packet-lifecycle tracer, nil before EnableTelemetry.
+func (s *System) Tracer() *telemetry.Tracer { return s.w.Tracer }
 
 // World exposes the underlying simulation world for advanced use (bench
 // harnesses, custom peers). Most callers never need it.

@@ -1,0 +1,60 @@
+package norman_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"norman"
+	"norman/internal/ctl"
+	"norman/internal/faults"
+	"norman/internal/mem"
+	"norman/internal/qos"
+	"norman/internal/sniff"
+	"norman/internal/telemetry"
+	"norman/internal/transport"
+)
+
+// TestObservabilityDocMatchesRegistry is the drift gate between
+// OBSERVABILITY.md and the code: every `norman_<layer>_<name>` metric the
+// document's tables mention must exist in a fully populated registry, so a
+// rename or removal cannot leave the documentation stale, and a metric
+// cannot ship undocumented names in its own table rows without existing.
+func TestObservabilityDocMatchesRegistry(t *testing.T) {
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := regexp.MustCompile("`(norman_[a-z0-9_]+)`").FindAllStringSubmatch(string(doc), -1)
+	if len(names) < 40 {
+		t.Fatalf("OBSERVABILITY.md documents only %d metric names — inventory tables missing?", len(names))
+	}
+
+	reg := populateFullRegistry(t)
+	for _, m := range names {
+		if !reg.Has(m[1]) {
+			t.Errorf("OBSERVABILITY.md documents %s but no such metric is registered", m[1])
+		}
+	}
+}
+
+// populateFullRegistry builds one registry carrying every layer the repo
+// exports: the world's own metrics (host, sim, nic, mem, trace) via
+// EnableTelemetry, plus ctl, qos, mem rings/queues, sniff, transport and
+// faults registered the way the daemon and the E9 collector register them.
+func populateFullRegistry(t *testing.T) *telemetry.Registry {
+	t.Helper()
+	sys := norman.New(norman.KOPI)
+	reg := sys.EnableTelemetry()
+	w := sys.World()
+
+	ctl.NewServer(sys).RegisterMetrics(reg, nil)
+	qos.RegisterMetrics(reg, nil, qos.NewPFIFO(64))
+	mem.NewRing(16, 0).RegisterMetrics(reg, nil, "test")
+	mem.NewNotifyQueue(16).RegisterMetrics(reg, nil)
+	sniff.NewTap(nil, 16).RegisterMetrics(reg, nil)
+	transport.RegisterStreamMetrics(reg, nil, func() []*transport.Stream { return nil })
+	transport.NewResponder(sys.Arch(), 9, 1).RegisterResponderMetrics(reg, nil)
+	faults.New(w.Eng, w.NIC, w.LLC, faults.Config{}).RegisterMetrics(reg, nil)
+	return reg
+}
