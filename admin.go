@@ -7,6 +7,7 @@ import (
 	"norman/internal/kernel"
 	"norman/internal/packet"
 	"norman/internal/qos"
+	"norman/internal/recovery"
 	"norman/internal/sim"
 	"norman/internal/sniff"
 )
@@ -89,27 +90,47 @@ func (r Rule) compile() (*filter.Rule, error) {
 // IPTablesAppend installs a rule at the architecture's interposition point
 // (the `iptables -A` of the reproduction). On architectures without one, or
 // without a process view for owner rules, an error explains which §2
-// scenario just became unenforceable.
+// scenario just became unenforceable. With recovery enabled the intent is
+// journaled write-ahead: a crash after the journal write but before the
+// install is repaired by the reconciler, and an install failure is
+// compensated with an abort record.
 func (s *System) IPTablesAppend(hook string, r Rule) error {
+	if err := s.gate(); err != nil {
+		return err
+	}
+	e := s.record(recovery.Entry{Op: recovery.OpRuleAppend, Rule: ruleToRecord(hook, r)})
+	if err := s.applyRule(hook, r); err != nil {
+		s.abortRecord(e)
+		return err
+	}
+	s.rules = append(s.rules, installedRule{hook: hook, rule: r})
+	s.commitNICConfig()
+	return nil
+}
+
+// applyRule is the raw (journal-free) install path; the reconciler replays
+// through it.
+func (s *System) applyRule(hook string, r Rule) error {
 	fr, err := r.compile()
 	if err != nil {
 		return err
 	}
-	h := filter.HookOutput
-	if hook == Input {
-		h = filter.HookInput
-	}
-	if err := s.a.InstallRule(h, fr); err != nil {
-		return err
-	}
-	s.rules = append(s.rules, installedRule{hook: hook, rule: r})
-	return nil
+	return s.a.InstallRule(hookOf(hook), fr)
 }
 
 // IPTablesFlush removes all rules.
 func (s *System) IPTablesFlush() error {
+	if err := s.gate(); err != nil {
+		return err
+	}
+	e := s.record(recovery.Entry{Op: recovery.OpRuleFlush})
+	if err := s.a.FlushRules(); err != nil {
+		s.abortRecord(e)
+		return err
+	}
 	s.rules = nil
-	return s.a.FlushRules()
+	s.commitNICConfig()
+	return nil
 }
 
 // RuleStatus is one installed rule with its hit counter (`iptables -L -v`).
@@ -152,7 +173,35 @@ type QdiscSpec struct {
 // TCSet installs an egress qdisc with a classifier that assigns classes by
 // owning user id (the cgroup-style classification of the paper's QoS
 // scenario): ClassOfUID maps uid -> class; unmapped users get class 0.
+// With recovery enabled the full spec (including the uid->class map) is
+// journaled, so the reconciler can rebuild an identical scheduler.
 func (s *System) TCSet(spec QdiscSpec, classOfUID map[uint32]uint32) error {
+	if err := s.gate(); err != nil {
+		return err
+	}
+	kind := spec.Kind
+	if kind == "" {
+		kind = "wfq" // applyQdisc's default; journal the resolved kind
+	}
+	e := s.record(recovery.Entry{Op: recovery.OpQdiscSet, Qdisc: &recovery.QdiscRecord{
+		Kind:       kind,
+		Weights:    spec.Weights,
+		ClassOfUID: classOfUID,
+		RateBps:    spec.RateBps,
+		BurstBytes: spec.BurstBytes,
+		Limit:      spec.Limit,
+	}})
+	if err := s.applyQdisc(spec, classOfUID); err != nil {
+		s.abortRecord(e)
+		return err
+	}
+	s.commitNICConfig()
+	return nil
+}
+
+// applyQdisc is the raw (journal-free) install path; the reconciler replays
+// through it.
+func (s *System) applyQdisc(spec QdiscSpec, classOfUID map[uint32]uint32) error {
 	var q qos.Qdisc
 	switch spec.Kind {
 	case "wfq", "":

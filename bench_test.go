@@ -102,3 +102,12 @@ func BenchmarkE9Faults(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE10Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE10(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl)
+		}
+	}
+}

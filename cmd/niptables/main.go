@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -90,6 +91,11 @@ func actionWord(s string) string {
 }
 
 func fatal(err error) {
+	var u *ctl.Unreachable
+	if errors.As(err, &u) {
+		fmt.Fprintf(os.Stderr, "niptables: normand unreachable at %s\n", u.Addr)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "niptables: %v\n", err)
 	os.Exit(1)
 }

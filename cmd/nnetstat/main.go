@@ -3,9 +3,13 @@
 // off-host interposition layers cannot produce. With -metrics it instead
 // dumps the daemon's unified telemetry registry (Prometheus text by default,
 // JSON with -json), covering every layer from host syscalls to the NIC.
+// With -recovery it reports the crash-recovery subsystem: journal size,
+// control-plane up/down state, and the last reconciliation (diff clean or
+// not, invariants, repairs).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +21,7 @@ func main() {
 	socket := flag.String("socket", ctl.DefaultSocket, "normand control socket")
 	metrics := flag.Bool("metrics", false, "dump the daemon's telemetry registry instead of connections")
 	jsonOut := flag.Bool("json", false, "with -metrics: render JSON instead of Prometheus text")
+	recoveryFlag := flag.Bool("recovery", false, "show the daemon's crash-recovery status (journal, last reconciliation)")
 	flag.Parse()
 
 	c, err := ctl.Dial(*socket)
@@ -24,6 +29,41 @@ func main() {
 		fatal(err)
 	}
 	defer c.Close()
+
+	if *recoveryFlag {
+		var data ctl.RecoveryData
+		if err := c.Call(ctl.OpRecovery, nil, &data); err != nil {
+			fatal(err)
+		}
+		state := "up"
+		if data.Down {
+			state = "DOWN"
+		}
+		fmt.Printf("control plane: %s\n", state)
+		fmt.Printf("journal: %d entries, %d crashes, %d restarts, %d mutations rejected while down\n",
+			data.JournalEntries, data.Crashes, data.Restarts, data.RejectedWhileDown)
+		if !data.HasReport {
+			fmt.Println("reconciliation: never run")
+			return
+		}
+		diff := "diff clean"
+		if !data.Clean {
+			diff = fmt.Sprintf("diff NOT clean (%d divergences)", len(data.Divergences))
+		}
+		inv := "invariants ok"
+		if !data.InvariantsOK {
+			inv = "invariants FAILED"
+		}
+		fmt.Printf("reconciliation: %s, %s, %d entries replayed, %d rules, %d conns, %d stale, recovery took %s\n",
+			diff, inv, data.Replayed, data.Rules, data.Conns, data.Stale, data.RecoveryTime)
+		for _, d := range data.Divergences {
+			fmt.Printf("  divergence: %s\n", d)
+		}
+		for _, a := range data.Actions {
+			fmt.Printf("  repair: %s\n", a)
+		}
+		return
+	}
 
 	if *metrics {
 		format := "prometheus"
@@ -50,6 +90,11 @@ func main() {
 }
 
 func fatal(err error) {
+	var u *ctl.Unreachable
+	if errors.As(err, &u) {
+		fmt.Fprintf(os.Stderr, "nnetstat: normand unreachable at %s\n", u.Addr)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "nnetstat: %v\n", err)
 	os.Exit(1)
 }

@@ -23,6 +23,7 @@ import (
 	"norman"
 	"norman/internal/ctl"
 	"norman/internal/packet"
+	"norman/internal/recovery"
 	"norman/internal/wire"
 )
 
@@ -30,12 +31,22 @@ func main() {
 	archName := flag.String("arch", "kopi", "dataplane architecture to run")
 	socket := flag.String("socket", ctl.DefaultSocket, "control socket path")
 	flood := flag.Bool("flood", false, "include the buggy ARP-flooding daemon (the §2 debugging scenario)")
+	journalPath := flag.String("journal", "", "persist the control-plane intent journal to this file; an existing journal is replayed on start (SIGKILL recovery)")
 	flag.Parse()
 
 	sys := norman.New(norman.Architecture(*archName))
+	// Recovery before anything mutates: every dial and policy below lands
+	// in the intent journal, so a SIGKILL'd daemon restarted with the same
+	// -journal reconciles instead of starting blind.
+	sys.EnableRecovery()
 	// Observability on from the start: the metrics registry and the packet
 	// tracer feed nnetstat -metrics and ntcpdump -trace.
 	reg := sys.EnableTelemetry()
+	if *journalPath != "" {
+		if err := attachJournal(sys, *journalPath); err != nil {
+			log.Fatalf("normand: journal: %v", err)
+		}
+	}
 	// The far side of the link: a gateway endpoint (10.0.0.2) that echoes
 	// UDP and answers pings, as any real peer would.
 	net := wire.NewNetwork(sys.Arch())
@@ -97,6 +108,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "normand: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// attachJournal wires durable journaling: an existing file is decoded and
+// reconciled (the previous incarnation's intent, with its connections marked
+// stale across the epoch), then every subsequent journal append is written
+// through with an fsync — the write-ahead property survives SIGKILL.
+func attachJournal(sys *norman.System, path string) error {
+	if f, err := os.Open(path); err == nil {
+		entries, derr := recovery.Decode(f)
+		f.Close()
+		if derr != nil {
+			return fmt.Errorf("decoding %s: %w", path, derr)
+		}
+		if len(entries) > 0 {
+			rep, rerr := sys.RecoverFromJournal(entries)
+			if rerr != nil {
+				return fmt.Errorf("replaying %s: %w", path, rerr)
+			}
+			fmt.Printf("normand: replayed %d journal entries from %s: %d rules, %d stale conns, %d repairs, clean=%v\n",
+				rep.Entries, path, rep.Rules, rep.Stale, len(rep.Actions), rep.Clean)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	out, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	sys.Recovery().Journal().SetOnAppend(func(e recovery.Entry) {
+		line, err := recovery.EncodeEntry(e)
+		if err != nil {
+			log.Printf("normand: journal encode: %v", err)
+			return
+		}
+		if _, err := out.Write(line); err != nil {
+			log.Printf("normand: journal write: %v", err)
+			return
+		}
+		out.Sync()
+	})
+	return nil
 }
 
 // loop schedules an endless fixed-interval sender on a connection.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -87,6 +88,11 @@ func main() {
 }
 
 func fatal(err error) {
+	var u *ctl.Unreachable
+	if errors.As(err, &u) {
+		fmt.Fprintf(os.Stderr, "ntc: normand unreachable at %s\n", u.Addr)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "ntc: %v\n", err)
 	os.Exit(1)
 }

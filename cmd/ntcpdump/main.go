@@ -12,6 +12,7 @@ package main
 
 import (
 	"encoding/base64"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -91,6 +92,11 @@ func main() {
 }
 
 func fatal(err error) {
+	var u *ctl.Unreachable
+	if errors.As(err, &u) {
+		fmt.Fprintf(os.Stderr, "ntcpdump: normand unreachable at %s\n", u.Addr)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "ntcpdump: %v\n", err)
 	os.Exit(1)
 }

@@ -5,6 +5,7 @@ import (
 
 	"norman/internal/arch"
 	"norman/internal/packet"
+	"norman/internal/recovery"
 	"norman/internal/sim"
 )
 
@@ -22,11 +23,7 @@ type Conn struct {
 // port (connect(2) in the paper's sketch).
 func (s *System) Dial(proc *Process, localPort, remotePort uint16) (*Conn, error) {
 	flow := s.kernFlow(localPort, remotePort)
-	c, err := s.a.Connect(proc.p, flow)
-	if err != nil {
-		return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
-	}
-	return &Conn{sys: s, c: c, flow: flow}, nil
+	return s.dial(proc, flow)
 }
 
 // DialTCP opens a TCP-keyed connection (for reliable transfers via
@@ -34,15 +31,48 @@ func (s *System) Dial(proc *Process, localPort, remotePort uint16) (*Conn, error
 func (s *System) DialTCP(proc *Process, localPort, remotePort uint16) (*Conn, error) {
 	flow := s.kernFlow(localPort, remotePort)
 	flow.Proto = packet.ProtoTCP
+	return s.dial(proc, flow)
+}
+
+// dial runs the journaled connection setup: conn.open is written before the
+// kernel/NIC work, conn.bind (carrying the kernel-assigned id) after it
+// succeeds. A crash between the two leaves a visibly incomplete pair the
+// reconciler reports instead of resurrecting.
+func (s *System) dial(proc *Process, flow packet.FlowKey) (*Conn, error) {
+	if err := s.gate(); err != nil {
+		return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
+	}
+	open := s.record(recovery.Entry{Op: recovery.OpConnOpen, Conn: &recovery.ConnRecord{
+		Flow: flow, PID: proc.PID(), UID: proc.UID(), Command: proc.Command(),
+	}})
 	c, err := s.a.Connect(proc.p, flow)
 	if err != nil {
-		return nil, fmt.Errorf("norman: dial tcp %s: %w", flow, err)
+		s.abortRecord(open)
+		return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
 	}
+	if open.Seq != 0 {
+		s.record(recovery.Entry{Op: recovery.OpConnBind, Ref: open.Seq, ConnID: c.Info.ID})
+	}
+	s.commitNICConfig()
 	return &Conn{sys: s, c: c, flow: flow}, nil
 }
 
-// Close releases the connection.
-func (c *Conn) Close() error { return c.sys.a.Close(c.c) }
+// Close releases the connection. Like every control-plane mutation it is
+// journaled and refused while the control plane is down — the dataplane
+// keeps the rings alive until teardown can be recorded.
+func (c *Conn) Close() error {
+	s := c.sys
+	if err := s.gate(); err != nil {
+		return err
+	}
+	e := s.record(recovery.Entry{Op: recovery.OpConnClose, ConnID: c.c.Info.ID})
+	if err := s.a.Close(c.c); err != nil {
+		s.abortRecord(e)
+		return err
+	}
+	s.commitNICConfig()
+	return nil
+}
 
 // ID returns the kernel connection id.
 func (c *Conn) ID() uint64 { return c.c.Info.ID }

@@ -37,6 +37,21 @@ import (
 // provide at any price — the paper's manageability gap.
 var ErrUnsupported = errors.New("arch: operation unsupported by this architecture")
 
+// ControlPlaneCrasher is the optional crash-recovery surface (internal/
+// recovery, E10). CrashControlPlane models the control plane dying: its
+// in-memory policy state (filter chains, qdisc bindings) is wiped the way a
+// process crash wipes a heap. What happens to the *dataplane* is the
+// architectural contrast — on ring architectures the NIC keeps forwarding
+// with the last-installed policies; on the kernel stack the control plane
+// IS the dataplane, so traffic stops until restart. RestartControlPlane
+// only revives the (now amnesiac) control plane; rebuilding its state is
+// the reconciler's job.
+type ControlPlaneCrasher interface {
+	CrashControlPlane()
+	RestartControlPlane()
+	ControlPlaneDown() bool
+}
+
 // RxMode selects how the owning application learns about arrivals.
 type RxMode uint8
 

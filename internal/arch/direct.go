@@ -27,6 +27,12 @@ type direct struct {
 	// kernel↔NIC configuration protocol. The hypervisor uses the same
 	// engine without a process view, which is the paper's comparison.
 	engine core.Interposer
+
+	// cpDown marks the control plane crashed. The dataplane is untouched:
+	// applications own their rings and the NIC executes whatever was last
+	// installed — the crash only wipes the control plane's policy memory
+	// (fw) and refuses new mutations.
+	cpDown bool
 }
 
 // init wires the direct machinery into a world. It must be called on the
@@ -184,6 +190,26 @@ func (d *direct) SetRxMode(c *Conn, mode RxMode) error {
 	d.w.MarkPoller(d.w.Core(c.Info.PID))
 	return nil
 }
+
+// CrashControlPlane implements ControlPlaneCrasher: the control plane's
+// policy memory is gone (fresh, empty filter engine), but nothing on the
+// NIC changes — rings, steering, programs and scheduler keep running.
+func (d *direct) CrashControlPlane() {
+	d.cpDown = true
+	d.fw = filter.NewEngine(d.engine.ProcessView)
+}
+
+// RestartControlPlane implements ControlPlaneCrasher. The revived control
+// plane still knows nothing; the reconciler repopulates it from the
+// journal.
+func (d *direct) RestartControlPlane() { d.cpDown = false }
+
+// ControlPlaneDown implements ControlPlaneCrasher.
+func (d *direct) ControlPlaneDown() bool { return d.cpDown }
+
+// Filter exposes the control plane's rule memory — the reconciler diffs it
+// against journaled intent.
+func (d *direct) Filter() *filter.Engine { return d.fw }
 
 // reloadPrograms recompiles both firewall chains onto the NIC pipelines via
 // the KOPI engine, returning the control-plane load latency.

@@ -31,6 +31,15 @@ type KernelStack struct {
 	RxNoConn  uint64
 	RingRetry uint64
 
+	// cpDown marks the control plane crashed. On this architecture the
+	// control plane IS the dataplane — the same kernel stack that holds the
+	// policy tables also moves every packet — so a crash stops traffic:
+	// sends and softirq deliveries are dropped (rings reset on reboot)
+	// until restart. CtlOutageDrops counts them; E10 tables the contrast
+	// against the ring architectures, whose NICs keep forwarding.
+	cpDown         bool
+	CtlOutageDrops uint64
+
 	pings pinger
 }
 
@@ -113,6 +122,10 @@ func (a *KernelStack) Close(c *Conn) error {
 // app core, then protocol work, filtering, qdisc and doorbell on the kernel
 // core.
 func (a *KernelStack) Send(c *Conn, p *packet.Packet) {
+	if a.cpDown {
+		a.CtlOutageDrops++
+		return
+	}
 	m := a.w.Model
 	now := a.w.Eng.Now()
 	appCore := a.w.Core(c.Info.PID)
@@ -126,6 +139,10 @@ func (a *KernelStack) Send(c *Conn, p *packet.Packet) {
 // with the copies and all in-kernel work still paid per packet.
 func (a *KernelStack) SendBatch(c *Conn, pkts []*packet.Packet) {
 	if len(pkts) == 0 {
+		return
+	}
+	if a.cpDown {
+		a.CtlOutageDrops += uint64(len(pkts))
 		return
 	}
 	m := a.w.Model
@@ -150,6 +167,10 @@ func (a *KernelStack) SendBatch(c *Conn, pkts []*packet.Packet) {
 // driver), which is what makes the kernel stack self-backpressuring: an
 // application cannot offer more than its core can push through the stack.
 func (a *KernelStack) kernelTx(c *Conn, p *packet.Packet) {
+	if a.cpDown {
+		a.CtlOutageDrops++
+		return
+	}
 	m := a.w.Model
 	now := a.w.Eng.Now()
 	appCore := a.w.Core(c.Info.PID)
@@ -266,6 +287,12 @@ func (a *KernelStack) onRxDeliver(nc *nic.Conn, at sim.Time) {
 	if err != nil {
 		return
 	}
+	if a.cpDown {
+		// The crashed kernel is not running softirqs; the descriptor is
+		// popped (rings reset on reboot) and the frame is gone.
+		a.CtlOutageDrops++
+		return
+	}
 	p := desc.Pkt
 	m := a.w.Model
 	now := a.w.Eng.Now()
@@ -374,6 +401,29 @@ func (a *KernelStack) AttachTap(e *sniff.Expr) (*sniff.Tap, error) {
 
 // Filter exposes the software engine (tools list rules through it).
 func (a *KernelStack) Filter() *filter.Engine { return a.fw }
+
+// Qdisc exposes the software egress scheduler (the reconciler diffs it
+// against journaled intent).
+func (a *KernelStack) Qdisc() qos.Qdisc { return a.sched }
+
+// CrashControlPlane implements ControlPlaneCrasher: a kernel-stack crash
+// takes the policy tables *and* the dataplane with it — netfilter chains,
+// qdisc and classifier evaporate, and until restart every packet in either
+// direction is dropped (CtlOutageDrops).
+func (a *KernelStack) CrashControlPlane() {
+	a.cpDown = true
+	a.fw = filter.NewEngine(true)
+	a.fw.EnableConntrack(filter.NewConntrack(1<<16, 120*sim.Second))
+	a.sched = nil
+	a.classify = nil
+}
+
+// RestartControlPlane implements ControlPlaneCrasher; the reconciler
+// reinstalls policies afterwards.
+func (a *KernelStack) RestartControlPlane() { a.cpDown = false }
+
+// ControlPlaneDown implements ControlPlaneCrasher.
+func (a *KernelStack) ControlPlaneDown() bool { return a.cpDown }
 
 // Ping sends a kernel-originated ICMP echo and completes when the softirq
 // path sees the reply.

@@ -107,6 +107,146 @@ func TestCallTimesOutOnUnresponsiveServer(t *testing.T) {
 	}
 }
 
+// TestUnreachableError: a dead socket surfaces as the typed Unreachable
+// error carrying the address, so every tool can print the one-line
+// "normand unreachable at <addr>" diagnosis.
+func TestUnreachableError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gone.sock")
+	_, err := DialWith(path, DialConfig{
+		Timeout: 100 * time.Millisecond, Retries: 1,
+		BackoffBase: 5 * time.Millisecond, BackoffMax: 10 * time.Millisecond,
+	})
+	var u *Unreachable
+	if !errors.As(err, &u) {
+		t.Fatalf("want *Unreachable, got %T: %v", err, err)
+	}
+	if u.Addr != path || u.Attempts != 2 {
+		t.Fatalf("Unreachable = %+v", u)
+	}
+}
+
+// dyingListener accepts connections and immediately closes them — the
+// observable behavior of a daemon that dies right after accept.
+func dyingListener(t *testing.T, path string) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	return ln
+}
+
+// TestCallReconnectsAfterDaemonRestart: the client's established connection
+// dies (daemon restarted underneath the tool); an idempotent call must
+// transparently redial the socket and retry once instead of failing.
+func TestCallReconnectsAfterDaemonRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "restart.sock")
+	ln := dyingListener(t, path)
+
+	c, err := DialWith(path, DialConfig{
+		Timeout: time.Second, Retries: 4,
+		BackoffBase: 20 * time.Millisecond, BackoffMax: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The daemon "restarts": the dying incarnation goes away and a real
+	// server takes over the same socket.
+	ln.Close()
+	srv := NewServer(norman.New(norman.KOPI))
+	go func() { _ = srv.Listen(path) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	var st StatusData
+	if err := c.Call(OpStatus, nil, &st); err != nil {
+		t.Fatalf("idempotent call must survive the restart: %v", err)
+	}
+	if st.Architecture != "kopi" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestCallDoesNotRetryMutations: the same broken-connection scenario on a
+// mutating op must surface the error — the client cannot know whether the
+// dead daemon applied the mutation, so replaying it is not safe.
+func TestCallDoesNotRetryMutations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mut.sock")
+	ln := dyingListener(t, path)
+
+	c, err := DialWith(path, DialConfig{
+		Timeout: time.Second, Retries: 4,
+		BackoffBase: 20 * time.Millisecond, BackoffMax: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ln.Close()
+	srv := NewServer(norman.New(norman.KOPI))
+	go func() { _ = srv.Listen(path) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	err = c.Call(OpIPTablesAdd, RuleArgs{Hook: "OUTPUT", Action: "drop"}, nil)
+	if err == nil {
+		t.Fatal("mutation on a broken connection must not be silently retried")
+	}
+	if !errors.Is(err, errBrokenConn) {
+		t.Fatalf("want the broken-connection error surfaced, got %v", err)
+	}
+}
+
+// TestRecoveryStatusOp: the recovery.status op reports the journal and the
+// last reconciliation over the wire.
+func TestRecoveryStatusOp(t *testing.T) {
+	sys := norman.New(norman.KOPI)
+	sys.EnableRecovery()
+	srv := NewServer(sys)
+	path := filepath.Join(t.TempDir(), "rec.sock")
+	go func() { _ = srv.Listen(path) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	c, err := DialWith(path, DialConfig{Timeout: time.Second, Retries: 4,
+		BackoffBase: 20 * time.Millisecond, BackoffMax: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var data RecoveryData
+	if err := c.Call(OpRecovery, nil, &data); err != nil {
+		t.Fatal(err)
+	}
+	if data.Down || data.HasReport {
+		t.Fatalf("fresh daemon recovery status = %+v", data)
+	}
+	if err := c.Call(OpIPTablesAdd, RuleArgs{Hook: "OUTPUT", DstPort: 9999, Action: "drop"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(ctlOpRecoveryRefresh, nil, &data); err == nil {
+		t.Fatal("unknown op must error")
+	}
+	if err := c.Call(OpRecovery, nil, &data); err != nil {
+		t.Fatal(err)
+	}
+	if data.JournalEntries == 0 {
+		t.Fatalf("journaled mutation must show up: %+v", data)
+	}
+}
+
+const ctlOpRecoveryRefresh = "recovery.refresh" // deliberately unknown
+
 // TestListenReturnsNilOnClose: a graceful shutdown is not an error — normand
 // distinguishes "operator stopped me" (exit 0) from a listener failure
 // (exit nonzero).

@@ -42,7 +42,21 @@ const (
 	OpPing          = "ping"
 	OpTelemetry     = "telemetry.dump"
 	OpTrace         = "trace.get"
+	OpRecovery      = "recovery.status"
 )
+
+// IdempotentOp reports whether op is a read-only query the client may
+// safely replay on a fresh connection when the first attempt died
+// mid-flight (daemon restarted between requests). Mutations are excluded:
+// a broken connection leaves it unknown whether the daemon applied them.
+func IdempotentOp(op string) bool {
+	switch op {
+	case OpStatus, OpIPTablesList, OpTCShow, OpDumpFetch, OpDumpPcap,
+		OpNetstat, OpARP, OpTelemetry, OpTrace, OpRecovery:
+		return true
+	}
+	return false
+}
 
 // RuleArgs is the wire form of a firewall rule (iptables.append).
 type RuleArgs struct {
@@ -166,6 +180,28 @@ type TraceData struct {
 	ID        uint64   `json:"id"`
 	Available []uint64 `json:"available,omitempty"`
 	Rendered  string   `json:"rendered"`
+}
+
+// RecoveryData summarizes the daemon's crash-recovery state: the journal,
+// the control plane's up/down status, and the last reconciliation report
+// (recovery.status).
+type RecoveryData struct {
+	Down              bool   `json:"down"`
+	JournalEntries    int    `json:"journal_entries"`
+	Crashes           uint64 `json:"crashes"`
+	Restarts          uint64 `json:"restarts"`
+	RejectedWhileDown uint64 `json:"rejected_while_down"`
+
+	HasReport    bool     `json:"has_report"`
+	Replayed     int      `json:"replayed,omitempty"`
+	Rules        int      `json:"rules,omitempty"`
+	Conns        int      `json:"conns,omitempty"`
+	Stale        int      `json:"stale,omitempty"`
+	Divergences  []string `json:"divergences,omitempty"`
+	Actions      []string `json:"actions,omitempty"`
+	InvariantsOK bool     `json:"invariants_ok"`
+	Clean        bool     `json:"clean"`
+	RecoveryTime string   `json:"recovery_time,omitempty"`
 }
 
 // Marshal is a helper for building requests.

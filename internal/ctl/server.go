@@ -157,10 +157,15 @@ func (s *Server) dispatch(req Request) (data json.RawMessage, err error) {
 		s.tcDesc = fmt.Sprintf("qdisc %s weights=%v class_of_uid=%v", a.Kind, a.Weights, a.ClassOfUID)
 		return nil, nil
 	case OpTCShow:
-		if s.tcDesc == "" {
-			return marshal("qdisc pfifo (default)")
+		if s.tcDesc != "" {
+			return marshal(s.tcDesc)
 		}
-		return marshal(s.tcDesc)
+		// No TCSet in this process — but a journal replay may have
+		// reinstalled a scheduler; report the live one, not the cache.
+		if q := s.sys.Qdisc(); q != nil && q.Name() != "pfifo" {
+			return marshal(fmt.Sprintf("qdisc %s (recovered from journal)", q.Name()))
+		}
+		return marshal("qdisc pfifo (default)")
 	case OpDumpStart:
 		var a DumpArgs
 		if err := json.Unmarshal(req.Args, &a); err != nil {
@@ -202,6 +207,8 @@ func (s *Server) dispatch(req Request) (data json.RawMessage, err error) {
 			}
 		}
 		return s.traceGet(a)
+	case OpRecovery:
+		return s.recoveryStatus()
 	default:
 		return nil, fmt.Errorf("ctl: unknown op %q", req.Op)
 	}
@@ -407,6 +414,37 @@ func (s *Server) traceGet(a TraceArgs) (json.RawMessage, error) {
 		a.ID = ids[len(ids)-1]
 	}
 	return marshal(TraceData{ID: a.ID, Available: ids, Rendered: tr.Format(a.ID)})
+}
+
+// recoveryStatus reports the journal, outage state and last reconciliation
+// (recovery.status).
+func (s *Server) recoveryStatus() (json.RawMessage, error) {
+	rec := s.sys.Recovery()
+	if rec == nil {
+		return nil, fmt.Errorf("ctl: recovery not enabled on this daemon")
+	}
+	data := RecoveryData{
+		Down:              rec.Down(),
+		JournalEntries:    rec.Journal().Len(),
+		Crashes:           rec.Crashes,
+		Restarts:          rec.Restarts,
+		RejectedWhileDown: rec.RejectedWhileDown,
+	}
+	if rep := rec.LastReport(); rep != nil {
+		data.HasReport = true
+		data.Replayed = rep.Entries
+		data.Rules = rep.Rules
+		data.Conns = rep.Conns
+		data.Stale = rep.Stale
+		data.Divergences = rep.Divergences
+		for _, a := range rep.Actions {
+			data.Actions = append(data.Actions, a.Kind+": "+a.Detail)
+		}
+		data.InvariantsOK = rep.InvariantsOK
+		data.Clean = rep.Clean
+		data.RecoveryTime = rep.RecoveryTime.String()
+	}
+	return marshal(data)
 }
 
 // RegisterMetrics exposes the control plane's own request accounting on a

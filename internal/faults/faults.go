@@ -110,6 +110,10 @@ type Injector struct {
 	RingBursts uint64
 	// OverlayTraps counts traps armed into overlay machines.
 	OverlayTraps uint64
+	// NICStateLosses counts NIC-resident state losses injected (unloaded
+	// pipeline programs, dropped steering rows) — the divergence the crash
+	// reconciler must detect and repair.
+	NICStateLosses uint64
 }
 
 // New builds an injector over a world's engine, NIC and (optionally nil)
@@ -165,6 +169,8 @@ func (i *Injector) RegisterMetrics(r *telemetry.Registry, labels telemetry.Label
 		labels, func() uint64 { return i.RingBursts })
 	r.Counter(telemetry.Desc{Layer: "faults", Name: "overlay_traps", Help: "runtime traps armed into loaded overlay machines", Unit: "traps"},
 		labels, func() uint64 { return i.OverlayTraps })
+	r.Counter(telemetry.Desc{Layer: "faults", Name: "nic_state_losses", Help: "NIC-resident state losses injected (programs unloaded, steering rows dropped)", Unit: "losses"},
+		labels, func() uint64 { return i.NICStateLosses })
 }
 
 // AttachTx splices the Tx wire-fault model into the NIC's transmit hand-off,
@@ -308,6 +314,24 @@ func (i *Injector) ScheduleOverlayTrap(dir nic.Direction, at sim.Time, reason st
 		if m := i.nic.Machine(dir); m != nil {
 			m.InjectTrap(reason)
 			i.OverlayTraps++
+		}
+	})
+}
+
+// ScheduleNICStateLoss arms a one-shot loss of NIC-resident state at
+// virtual time at: the pipeline program on dir is unloaded (as a partial
+// reset would) and, if flow is non-zero, its steering-table row is dropped.
+// Unlike a trap this is silent — nothing falls back; the live NIC simply
+// diverges from journaled intent until the crash reconciler notices
+// (E10 and TestRestartRepairsInjectedDivergence exercise exactly this).
+func (i *Injector) ScheduleNICStateLoss(dir nic.Direction, flow packet.FlowKey, at sim.Time) {
+	i.eng.At(at, func() {
+		if i.nic.Machine(dir) != nil {
+			i.nic.UnloadProgram(dir)
+			i.NICStateLosses++
+		}
+		if flow != (packet.FlowKey{}) && i.nic.DropSteering(flow) {
+			i.NICStateLosses++
 		}
 	})
 }

@@ -177,6 +177,38 @@ func (k *Kernel) RegisterConn(p *Process, flow packet.FlowKey) (*ConnInfo, error
 	return ci, nil
 }
 
+// RestoreConn re-inserts a connection under its original id — the crash
+// reconciler's repair for a kernel table row lost to NIC/kernel divergence.
+// The process must still exist (in-sim crashes kill the control plane, not
+// applications); id collisions and flow conflicts are rejected.
+func (k *Kernel) RestoreConn(id uint64, pid uint32, flow packet.FlowKey, opened sim.Time) (*ConnInfo, error) {
+	p, ok := k.procs[pid]
+	if !ok {
+		return nil, ErrNoSuchProcess
+	}
+	if _, ok := k.conns[id]; ok {
+		return nil, fmt.Errorf("kernel: conn %d already present", id)
+	}
+	if existing, ok := k.byFlow[flow]; ok {
+		return nil, fmt.Errorf("%w: %s held by pid %d", ErrPortInUse, flow, existing.PID)
+	}
+	ci := &ConnInfo{
+		ID:      id,
+		PID:     p.PID,
+		UID:     p.UID,
+		Command: p.Command,
+		Flow:    flow,
+		Opened:  opened,
+	}
+	k.conns[id] = ci
+	k.byFlow[flow] = ci
+	p.conns[id] = ci
+	if id > k.nextConn {
+		k.nextConn = id
+	}
+	return ci, nil
+}
+
 // UnregisterConn removes a connection from the table.
 func (k *Kernel) UnregisterConn(id uint64) error {
 	ci, ok := k.conns[id]

@@ -152,6 +152,13 @@ type NIC struct {
 	// NIC degrades by reinstalling a chain from here instead of wedging.
 	lastGood [2]*overlay.Program
 
+	// lastGoodCfg widens lastGood from per-pipeline to whole-config scope:
+	// the most recent NIC configuration the control plane committed as
+	// known-good (both programs, scheduler, classifier, steering table,
+	// default conn). The crash reconciler restores from it wholesale
+	// instead of recompiling policy by policy (snapshot.go).
+	lastGoodCfg *ConfigSnapshot
+
 	sched      qos.Qdisc // egress scheduler; nil = pure FIFO via wire server
 	schedPump  bool
 	classifier func(*packet.Packet) uint32 // egress class assignment; nil = Meta.Class as-is
@@ -314,6 +321,24 @@ func (n *NIC) SteerFlow(k packet.FlowKey, connID uint64) error {
 	}
 	n.steering[k] = connID
 	return nil
+}
+
+// SteeredConn returns the connection id a flow is steered to, if any.
+func (n *NIC) SteeredConn(k packet.FlowKey) (uint64, bool) {
+	id, ok := n.steering[k]
+	return id, ok
+}
+
+// DropSteering removes one steering entry, releasing its SRAM. It models
+// NIC-resident state loss (an SRAM row lost across a partial reset) for
+// fault injection; the reconciler must detect and re-install the entry.
+func (n *NIC) DropSteering(k packet.FlowKey) bool {
+	if _, ok := n.steering[k]; !ok {
+		return false
+	}
+	delete(n.steering, k)
+	n.sramUsed -= 16
+	return true
 }
 
 // SetDefaultConn routes unsteered traffic to the given connection (e.g. the

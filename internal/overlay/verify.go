@@ -32,6 +32,9 @@ const MaxProgramLen = 8192
 // Assemble runs Verify automatically; it is exported so hand-built programs
 // and fuzz tests can use it directly.
 func Verify(p *Program) error {
+	if p == nil {
+		return errors.New("overlay: nil program")
+	}
 	n := len(p.Code)
 	if n == 0 {
 		return errors.New("overlay: empty program")
@@ -66,6 +69,11 @@ func Verify(p *Program) error {
 			if in.Target < 0 {
 				return fmt.Errorf("overlay: unresolved jump at inst %d", i)
 			}
+		}
+		// A lookup's miss path is a jump too; a negative target would send
+		// the machine (and the dataflow pass) out of the program.
+		if in.Op == OpLookup && in.Target < 0 {
+			return fmt.Errorf("overlay: unresolved lookup miss target at inst %d", i)
 		}
 	}
 

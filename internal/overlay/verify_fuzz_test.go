@@ -1,0 +1,167 @@
+package overlay
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestVerifyRejectsMalformed is the table half of the verifier hardening:
+// every malformed or truncated program shape we know of must come back as an
+// error — never a panic, and never a pass.
+func TestVerifyRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"nil program", nil},
+		{"empty code", &Program{}},
+		{"too long", &Program{Code: make([]Inst, MaxProgramLen+1)}},
+		{"self jump", &Program{Code: []Inst{
+			{Op: OpJmp, Target: 0},
+			{Op: OpPass},
+		}}},
+		{"backward jump", &Program{Code: []Inst{
+			{Op: OpLdi, A: 0, Val: 1},
+			{Op: OpJmp, Target: 0},
+			{Op: OpPass},
+		}}},
+		{"jump past end", &Program{Code: []Inst{
+			{Op: OpJmp, Target: 5},
+			{Op: OpPass},
+		}}},
+		{"jump exactly at end falls off", &Program{Code: []Inst{
+			{Op: OpJmp, Target: 1},
+		}}},
+		{"unresolved jump", &Program{Code: []Inst{
+			{Op: OpJeq, Target: -1},
+			{Op: OpPass},
+		}}},
+		{"unresolved lookup miss", &Program{Code: []Inst{
+			{Op: OpLdi, A: 1, Val: 7},
+			{Op: OpLookup, A: 0, B: 1, Index: 0, Target: -1},
+			{Op: OpPass},
+		}, Tables: []TableSpec{{Name: "t", Capacity: 4}}}},
+		{"undeclared table", &Program{Code: []Inst{
+			{Op: OpLdi, A: 1, Val: 7},
+			{Op: OpLookup, A: 0, B: 1, Index: 0, Target: 2},
+			{Op: OpPass},
+		}}},
+		{"negative table index", &Program{Code: []Inst{
+			{Op: OpLdi, A: 1, Val: 7},
+			{Op: OpLookup, A: 0, B: 1, Index: -1, Target: 2},
+			{Op: OpPass},
+		}}},
+		{"undeclared meter", &Program{Code: []Inst{
+			{Op: OpLdi, A: 1, Val: 64},
+			{Op: OpMeter, A: 0, B: 1, Index: 0},
+			{Op: OpPass},
+		}}},
+		{"undeclared counter", &Program{Code: []Inst{
+			{Op: OpCount, Index: 0},
+			{Op: OpPass},
+		}}},
+		{"read before write", &Program{Code: []Inst{
+			{Op: OpMov, A: 0, B: 1},
+			{Op: OpPass},
+		}}},
+		{"truncated: falls off end", &Program{Code: []Inst{
+			{Op: OpLdi, A: 0, Val: 1},
+		}}},
+		{"truncated after branch", &Program{Code: []Inst{
+			{Op: OpLdi, A: 0, Val: 1},
+			{Op: OpJeq, A: 0, Imm: true, Val: 1, Target: 2},
+		}}},
+		{"miss path uses unset register", &Program{Code: []Inst{
+			{Op: OpLdi, A: 1, Val: 7},
+			// Hit path writes r0; the miss path jumps past the write and
+			// then reads r0 — definite-initialization must catch it.
+			{Op: OpLookup, A: 0, B: 1, Index: 0, Target: 3},
+			{Op: OpNop},
+			{Op: OpMov, A: 2, B: 0},
+			{Op: OpPass},
+		}, Tables: []TableSpec{{Name: "t", Capacity: 4}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Verify panicked: %v", r)
+				}
+			}()
+			if err := Verify(tc.p); err == nil {
+				t.Fatalf("Verify accepted a malformed program")
+			}
+		})
+	}
+}
+
+// decodeProgram turns arbitrary fuzz bytes into a program: 12 bytes per
+// instruction, with the declaration counts drawn from the head. Nothing is
+// clamped to valid ranges — producing garbage is the point.
+func decodeProgram(data []byte) *Program {
+	if len(data) < 3 {
+		return nil
+	}
+	p := &Program{Name: "fuzz"}
+	for i := 0; i < int(data[0]%4); i++ {
+		p.Tables = append(p.Tables, TableSpec{Name: "t", Capacity: 4})
+	}
+	for i := 0; i < int(data[1]%4); i++ {
+		p.Meters = append(p.Meters, MeterSpec{Name: "m", Rate: 1e6, Burst: 1e4})
+	}
+	for i := 0; i < int(data[2]%4); i++ {
+		p.Counters = append(p.Counters, CounterSpec{Name: "c"})
+	}
+	data = data[3:]
+	for len(data) >= 12 {
+		in := Inst{
+			Op:     Op(data[0]),
+			A:      data[1] % NumRegs,
+			B:      data[2] % NumRegs,
+			F:      Field(data[3]),
+			Imm:    data[4]&1 == 1,
+			Val:    uint64(binary.LittleEndian.Uint32(data[4:8])),
+			Target: int(int16(binary.LittleEndian.Uint16(data[8:10]))),
+			Index:  int(int8(data[10])),
+		}
+		p.Code = append(p.Code, in)
+		data = data[12:]
+	}
+	return p
+}
+
+// FuzzVerify feeds arbitrary byte-derived programs to the verifier: it must
+// return (not panic, not loop), and any program it accepts must then execute
+// to a verdict without faulting — the verifier's contract with the NIC.
+func FuzzVerify(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	// pass
+	f.Add([]byte{1, 1, 1, byte(OpPass), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// ldi r0; jeq r0,imm -> end; drop (falls off on the not-taken path)
+	f.Add([]byte{
+		0, 0, 0,
+		byte(OpLdi), 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0,
+		byte(OpJeq), 0, 0, 0, 1, 1, 0, 0, 0, 2, 0, 0,
+		byte(OpDrop), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+	})
+	// lookup with a negative miss target (the pre-hardening panic shape)
+	f.Add([]byte{
+		1, 0, 0,
+		byte(OpLdi), 1, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0,
+		byte(OpLookup), 0, 1, 0, 0, 0, 0, 0, 0xff, 0xff, 0, 0,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeProgram(data)
+		err := Verify(p)
+		if err != nil {
+			return
+		}
+		// Accepted by the verifier: execution must be safe.
+		m := NewMachine(p)
+		if _, _, rerr := m.Run(udp(1234, 5432, 64), NopEnv{}); rerr != nil {
+			t.Fatalf("verified program faulted at runtime: %v", rerr)
+		}
+	})
+}

@@ -82,6 +82,16 @@ func (q *WFQ) SetWeight(class uint32, weight float64) {
 	c.weight = weight
 }
 
+// Weights returns the configured class weights. The crash reconciler's
+// qos_weights invariant compares these against journaled intent.
+func (q *WFQ) Weights() map[uint32]float64 {
+	out := make(map[uint32]float64, len(q.classes))
+	for id, c := range q.classes {
+		out[id] = c.weight
+	}
+	return out
+}
+
 func (q *WFQ) class(id uint32) *wfqClass {
 	c, ok := q.classes[id]
 	if !ok {

@@ -1,0 +1,109 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IntentConn is one connection as the journal intends it.
+type IntentConn struct {
+	Rec     ConnRecord
+	ID      uint64 // kernel connection id from OpConnBind; 0 = setup never completed
+	OpenSeq uint64
+	Stale   bool // opened before the latest epoch: its process died with that incarnation
+}
+
+// Intent is the state the control plane is supposed to be in, rebuilt by
+// replaying the journal: the ordered rule list, the egress scheduler, and
+// the set of live connections. It is the left-hand side of the reconciler's
+// diff.
+type Intent struct {
+	Rules []RuleRecord
+	Qdisc *QdiscRecord
+	// Conns maps kernel connection id -> intended connection (bound, open,
+	// current incarnation).
+	Conns map[uint64]*IntentConn
+	// Incomplete holds conn.open entries that never reached conn.bind — a
+	// crash hit mid-setup. Reported, never repaired (the application's half
+	// of the setup is gone).
+	Incomplete []*IntentConn
+	// Stale holds connections from previous incarnations (pre-epoch).
+	Stale []*IntentConn
+}
+
+// RulesFor returns the intended rules on one hook, in order.
+func (in *Intent) RulesFor(hook string) []RuleRecord {
+	var out []RuleRecord
+	for _, r := range in.Rules {
+		if r.Hook == hook {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Replay folds the journal into an Intent. Aborted entries are skipped, a
+// flush clears the rule list, a later qdisc.set wins, and an epoch marks
+// every connection opened before it stale.
+func Replay(entries []Entry) (*Intent, error) {
+	aborted := make(map[uint64]bool)
+	for _, e := range entries {
+		if e.Op == OpAbort {
+			aborted[e.Ref] = true
+		}
+	}
+
+	in := &Intent{Conns: make(map[uint64]*IntentConn)}
+	pending := make(map[uint64]*IntentConn) // open-seq -> conn awaiting bind
+	for _, e := range entries {
+		if aborted[e.Seq] {
+			continue
+		}
+		switch e.Op {
+		case OpEpoch:
+			for id, c := range in.Conns {
+				c.Stale = true
+				in.Stale = append(in.Stale, c)
+				delete(in.Conns, id)
+			}
+			for seq, c := range pending {
+				c.Stale = true
+				in.Stale = append(in.Stale, c)
+				delete(pending, seq)
+			}
+			sortByOpenSeq(in.Stale)
+		case OpRuleAppend:
+			in.Rules = append(in.Rules, *e.Rule)
+		case OpRuleFlush:
+			in.Rules = nil
+		case OpQdiscSet:
+			q := *e.Qdisc
+			in.Qdisc = &q
+		case OpConnOpen:
+			pending[e.Seq] = &IntentConn{Rec: *e.Conn, OpenSeq: e.Seq}
+		case OpConnBind:
+			c, ok := pending[e.Ref]
+			if !ok {
+				return nil, fmt.Errorf("recovery: seq %d binds unknown open seq %d", e.Seq, e.Ref)
+			}
+			delete(pending, e.Ref)
+			c.ID = e.ConnID
+			in.Conns[e.ConnID] = c
+		case OpConnClose:
+			delete(in.Conns, e.ConnID)
+		case OpAbort:
+			// handled by the precollected set
+		}
+	}
+	for _, c := range pending {
+		in.Incomplete = append(in.Incomplete, c)
+	}
+	// Map iteration above is unordered; sort so replay output — and every
+	// report built from it — is byte-identical at any worker width.
+	sortByOpenSeq(in.Incomplete)
+	return in, nil
+}
+
+func sortByOpenSeq(cs []*IntentConn) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].OpenSeq < cs[j].OpenSeq })
+}

@@ -1,0 +1,123 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"norman/internal/nic"
+	"norman/internal/overlay"
+	"norman/internal/qos"
+)
+
+// InvariantResult is one post-reconciliation check.
+type InvariantResult struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// CheckInvariants proves (or disproves) the reconciled state:
+//
+//   - journal_consistent — the journal itself verifies (monotonic seq/time,
+//     well-formed payloads); a torn record fails here.
+//   - conn_rings — every intended live connection exists in the kernel
+//     table and, on ring-per-conn architectures, owns a NIC ring with its
+//     flow steered to it.
+//   - chains_verify — every loaded NIC pipeline program passes the static
+//     verifier (the same gate install-time uses).
+//   - qos_weights — intended weights are all positive, the live scheduler
+//     matches the intended kind, and a live WFQ's weights sum to the
+//     intended sum.
+func CheckInvariants(j *Journal, in *Intent, live Live) []InvariantResult {
+	var out []InvariantResult
+	add := func(name string, err error) {
+		r := InvariantResult{Name: name, OK: err == nil}
+		if err != nil {
+			r.Detail = err.Error()
+		}
+		out = append(out, r)
+	}
+
+	add("journal_consistent", j.Verify())
+	add("conn_rings", checkConnRings(in, live))
+	add("chains_verify", checkChains(live))
+	add("qos_weights", checkQoSWeights(in, live))
+	return out
+}
+
+func checkConnRings(in *Intent, live Live) error {
+	ids := make([]uint64, 0, len(in.Conns))
+	for id := range in.Conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := in.Conns[id]
+		if live.Kern != nil {
+			if _, ok := live.Kern.Conn(id); !ok {
+				return fmt.Errorf("conn %d not in kernel table", id)
+			}
+		}
+		if !live.RingPerConn || live.NIC == nil {
+			continue
+		}
+		if _, ok := live.NIC.Conn(id); !ok {
+			return fmt.Errorf("conn %d has no NIC ring", id)
+		}
+		if steered, ok := live.NIC.SteeredConn(c.Rec.Flow); !ok || steered != id {
+			return fmt.Errorf("conn %d flow not steered to its ring", id)
+		}
+	}
+	return nil
+}
+
+func checkChains(live Live) error {
+	if live.NIC == nil {
+		return nil
+	}
+	for dir := nic.Ingress; dir <= nic.Egress; dir++ {
+		m := live.NIC.Machine(dir)
+		if m == nil {
+			continue
+		}
+		if err := overlay.Verify(m.Program()); err != nil {
+			return fmt.Errorf("%v chain: %w", dir, err)
+		}
+	}
+	return nil
+}
+
+func checkQoSWeights(in *Intent, live Live) error {
+	if in.Qdisc == nil {
+		return nil
+	}
+	var wantSum float64
+	for class, w := range in.Qdisc.Weights {
+		if w <= 0 {
+			return fmt.Errorf("intended weight for class %d is %v, want > 0", class, w)
+		}
+		wantSum += w
+	}
+	var q qos.Qdisc
+	if live.Qdisc != nil {
+		q = live.Qdisc()
+	}
+	if q == nil {
+		return fmt.Errorf("intended qdisc %s, none live", in.Qdisc.Kind)
+	}
+	if q.Name() != in.Qdisc.Kind {
+		return fmt.Errorf("intended qdisc %s, live %s", in.Qdisc.Kind, q.Name())
+	}
+	if wfq, ok := q.(*qos.WFQ); ok && len(in.Qdisc.Weights) > 0 {
+		var gotSum float64
+		for class, w := range wfq.Weights() {
+			if _, intended := in.Qdisc.Weights[class]; intended {
+				gotSum += w
+			}
+		}
+		if gotSum != wantSum {
+			return fmt.Errorf("wfq weights sum %v, intended %v", gotSum, wantSum)
+		}
+	}
+	return nil
+}

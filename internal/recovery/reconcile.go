@@ -1,0 +1,286 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"norman/internal/kernel"
+	"norman/internal/nic"
+	"norman/internal/overlay"
+	"norman/internal/qos"
+	"norman/internal/sim"
+)
+
+// Deterministic reconciliation cost model: replaying one journal entry is a
+// memory walk (~200ns of virtual time), applying one repair action reaches
+// back into the NIC/kernel (~2µs). Constants, not wall-clock measurements,
+// so E10's recovery-time column is byte-identical at any worker width.
+const (
+	replayCostPerEntry = 200 * sim.Nanosecond
+	repairCostPerAct   = 2 * sim.Microsecond
+)
+
+// Live names the state the reconciler diffs journaled intent against.
+type Live struct {
+	NIC  *nic.NIC
+	Kern *kernel.Kernel
+	// RingPerConn is true on architectures where each connection owns a NIC
+	// ring and a steering entry (Caps().Transfers == 1); on the kernel-stack
+	// architecture connections share kernel-owned queues and no per-conn NIC
+	// state exists to reconcile.
+	RingPerConn bool
+	// RuleCount reports how many filter rules are live on a hook.
+	RuleCount func(hook string) int
+	// Qdisc returns the live egress scheduler (nil = none installed).
+	Qdisc func() qos.Qdisc
+}
+
+// Applier is the control plane's repair surface: the reconciler decides
+// *what* diverged, the system decides *how* to reapply it (recompiling
+// rules, re-registering kernel connections, re-steering flows).
+type Applier interface {
+	ReinstallRules(rules []RuleRecord) error
+	ReinstallQdisc(q QdiscRecord) error
+	RestoreConn(rec ConnRecord, id uint64) error
+	RepairSteering(rec ConnRecord, id uint64) error
+}
+
+// Action is one repair the reconciler applied.
+type Action struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the outcome of one Restart: what the journal said, what
+// diverged, what was repaired, and whether the invariants hold now.
+type Report struct {
+	Entries  int `json:"entries"`  // journal length replayed
+	Rules    int `json:"rules"`    // intended rule count
+	Conns    int `json:"conns"`    // intended live connections
+	Stale    int `json:"stale"`    // pre-epoch connections ignored
+	Partial  int `json:"partial"`  // conn setups the crash interrupted
+	Rejected int `json:"rejected"` // mutations refused during the outage
+
+	Divergences  []string          `json:"divergences,omitempty"`
+	Actions      []Action          `json:"actions,omitempty"`
+	Invariants   []InvariantResult `json:"invariants"`
+	InvariantsOK bool              `json:"invariants_ok"`
+	// Clean is true when the post-repair re-diff found nothing: live state
+	// matches journaled intent exactly.
+	Clean        bool         `json:"clean"`
+	RecoveryTime sim.Duration `json:"recovery_ps"`
+}
+
+// divergence is one intended-vs-live mismatch, with enough structure for
+// the repair dispatch.
+type divergence struct {
+	kind   string // rules | qdisc | nic.program | conn.kernel | conn.ring | conn.steer
+	detail string
+	conn   *IntentConn // set for conn.* kinds
+	dir    nic.Direction
+}
+
+// Restart brings the control plane back: replays the journal into intent,
+// diffs against live state, repairs divergence through the applier
+// (preferring the NIC's whole-config last-good snapshot when NIC state is
+// what diverged), re-diffs to prove convergence, and runs the invariant
+// checker. The returned report is also retained for LastReport.
+func (m *Manager) Restart(now sim.Time, live Live, ap Applier) (*Report, error) {
+	rejected := m.RejectedWhileDown
+	m.down = false
+	m.Restarts++
+
+	entries := m.journal.Entries()
+	in, err := Replay(entries)
+	if err != nil {
+		return nil, err
+	}
+	m.ReplayedEntries += uint64(len(entries))
+	m.StaleConns += uint64(len(in.Stale))
+	m.span(now, "replay", fmt.Sprintf("%d entries -> %d rules, %d conns, %d stale", len(entries), len(in.Rules), len(in.Conns), len(in.Stale)))
+
+	rep := &Report{
+		Entries:  len(entries),
+		Rules:    len(in.Rules),
+		Conns:    len(in.Conns),
+		Stale:    len(in.Stale),
+		Partial:  len(in.Incomplete),
+		Rejected: int(rejected),
+	}
+
+	divs := diff(in, live)
+	m.DivergencesFound += uint64(len(divs))
+	for _, d := range divs {
+		rep.Divergences = append(rep.Divergences, d.kind+": "+d.detail)
+	}
+
+	rep.Actions = m.repair(now, in, live, ap, divs)
+	m.RepairsApplied += uint64(len(rep.Actions))
+
+	rep.Clean = len(diff(in, live)) == 0
+	rep.Invariants = CheckInvariants(m.journal, in, live)
+	rep.InvariantsOK = true
+	for _, iv := range rep.Invariants {
+		if !iv.OK {
+			rep.InvariantsOK = false
+			m.InvariantFailures++
+		}
+	}
+	m.span(now, "repair", fmt.Sprintf("%d divergences, %d actions, clean=%v", len(divs), len(rep.Actions), rep.Clean))
+	m.span(now, "invariants", fmt.Sprintf("ok=%v", rep.InvariantsOK))
+
+	rep.RecoveryTime = sim.Duration(len(entries))*replayCostPerEntry + sim.Duration(len(rep.Actions))*repairCostPerAct
+	m.LastRecovery = rep.RecoveryTime
+	m.lastReport = rep
+	return rep, nil
+}
+
+// diff computes intended-vs-live divergences in deterministic order:
+// rules, qdisc, NIC programs, then connections sorted by id.
+func diff(in *Intent, live Live) []divergence {
+	var out []divergence
+
+	for _, hook := range []string{"INPUT", "OUTPUT"} {
+		want := len(in.RulesFor(hook))
+		got := 0
+		if live.RuleCount != nil {
+			got = live.RuleCount(hook)
+		}
+		if want != got {
+			out = append(out, divergence{kind: "rules", detail: fmt.Sprintf("%s: intended %d, live %d", hook, want, got)})
+		}
+	}
+
+	if in.Qdisc != nil {
+		var q qos.Qdisc
+		if live.Qdisc != nil {
+			q = live.Qdisc()
+		}
+		switch {
+		case q == nil:
+			out = append(out, divergence{kind: "qdisc", detail: fmt.Sprintf("intended %s, live none", in.Qdisc.Kind)})
+		case q.Name() != in.Qdisc.Kind:
+			out = append(out, divergence{kind: "qdisc", detail: fmt.Sprintf("intended %s, live %s", in.Qdisc.Kind, q.Name())})
+		}
+	}
+
+	if live.RingPerConn && live.NIC != nil {
+		// On NIC-resident-policy architectures the intended rules compile
+		// into pipeline chains: INPUT guards ingress, OUTPUT guards egress.
+		hooks := [2]string{nic.Ingress: "INPUT", nic.Egress: "OUTPUT"}
+		for dir := nic.Ingress; dir <= nic.Egress; dir++ {
+			if len(in.RulesFor(hooks[dir])) == 0 {
+				continue
+			}
+			mach := live.NIC.Machine(dir)
+			if mach == nil {
+				out = append(out, divergence{kind: "nic.program", dir: dir, detail: fmt.Sprintf("%s chain intended, none loaded", hooks[dir])})
+				continue
+			}
+			if err := overlay.Verify(mach.Program()); err != nil {
+				out = append(out, divergence{kind: "nic.program", dir: dir, detail: fmt.Sprintf("%s chain fails verification: %v", hooks[dir], err)})
+			}
+		}
+	}
+
+	ids := make([]uint64, 0, len(in.Conns))
+	for id := range in.Conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := in.Conns[id]
+		if live.Kern != nil {
+			if _, ok := live.Kern.Conn(id); !ok {
+				out = append(out, divergence{kind: "conn.kernel", conn: c, detail: fmt.Sprintf("conn %d missing from kernel table", id)})
+				continue
+			}
+		}
+		if live.RingPerConn && live.NIC != nil {
+			if _, ok := live.NIC.Conn(id); !ok {
+				// The ring memory is application-owned; with the rings gone
+				// there is nothing the control plane can restore.
+				out = append(out, divergence{kind: "conn.ring", conn: c, detail: fmt.Sprintf("conn %d has no NIC ring", id)})
+				continue
+			}
+			if steered, ok := live.NIC.SteeredConn(c.Rec.Flow); !ok || steered != id {
+				out = append(out, divergence{kind: "conn.steer", conn: c, detail: fmt.Sprintf("conn %d flow not steered to its ring", id)})
+			}
+		}
+	}
+	return out
+}
+
+// repair applies one pass of fixes for the given divergences. NIC-state
+// divergence prefers restoring the whole last-good config snapshot (one
+// action, also heals steering); policy divergence falls back to
+// recompiling from journaled intent.
+func (m *Manager) repair(now sim.Time, in *Intent, live Live, ap Applier, divs []divergence) []Action {
+	var acts []Action
+	act := func(kind, detail string) {
+		acts = append(acts, Action{Kind: kind, Detail: detail})
+		m.span(now, "repair."+kind, detail)
+	}
+
+	var nicDiverged, rulesDiverged, qdiscDiverged bool
+	for _, d := range divs {
+		switch d.kind {
+		case "nic.program", "conn.steer":
+			nicDiverged = true
+		case "rules":
+			rulesDiverged = true
+		case "qdisc":
+			qdiscDiverged = true
+		}
+	}
+
+	restored := false
+	if nicDiverged && live.NIC != nil {
+		if snap := live.NIC.LastGoodConfig(); snap != nil {
+			if _, err := live.NIC.RestoreConfig(snap); err == nil {
+				act("nic.restore_config", fmt.Sprintf("last-good snapshot from t=%v", snap.TakenAt))
+				restored = true
+			} else {
+				act("nic.restore_config.failed", err.Error())
+			}
+		}
+	}
+
+	if ap != nil {
+		if rulesDiverged || (nicDiverged && !restored) {
+			if err := ap.ReinstallRules(in.Rules); err == nil {
+				act("rules.reinstall", fmt.Sprintf("%d rules recompiled", len(in.Rules)))
+			} else {
+				act("rules.reinstall.failed", err.Error())
+			}
+		}
+		if qdiscDiverged && in.Qdisc != nil {
+			if err := ap.ReinstallQdisc(*in.Qdisc); err == nil {
+				act("qdisc.reinstall", in.Qdisc.Kind)
+			} else {
+				act("qdisc.reinstall.failed", err.Error())
+			}
+		}
+		for _, d := range divs {
+			switch d.kind {
+			case "conn.kernel":
+				if err := ap.RestoreConn(d.conn.Rec, d.conn.ID); err == nil {
+					act("conn.restore", fmt.Sprintf("conn %d re-registered", d.conn.ID))
+				} else {
+					act("conn.restore.failed", err.Error())
+				}
+			case "conn.steer":
+				if restored {
+					// The snapshot restore re-steered every flow already.
+					continue
+				}
+				if err := ap.RepairSteering(d.conn.Rec, d.conn.ID); err == nil {
+					act("conn.steer", fmt.Sprintf("conn %d re-steered", d.conn.ID))
+				} else {
+					act("conn.steer.failed", err.Error())
+				}
+			}
+		}
+	}
+	return acts
+}

@@ -34,6 +34,7 @@ import (
 	"norman/internal/host"
 	"norman/internal/kernel"
 	"norman/internal/packet"
+	"norman/internal/recovery"
 	"norman/internal/sim"
 	"norman/internal/telemetry"
 	"norman/internal/timing"
@@ -132,6 +133,7 @@ type System struct {
 	mux   *host.Mux
 	rules []installedRule
 	reg   *telemetry.Registry
+	rec   *recovery.Manager
 }
 
 // installedRule remembers admin rule state for IPTablesList.
@@ -233,6 +235,10 @@ func (s *System) EnableTelemetry() *telemetry.Registry {
 		s.reg = telemetry.NewRegistry()
 		s.w.EnableTracing(0)
 		s.w.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
+		if s.rec != nil {
+			s.rec.SetTracer(s.w.Tracer)
+			s.rec.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
+		}
 	}
 	return s.reg
 }

@@ -45,6 +45,7 @@ func TestObservabilityDocMatchesRegistry(t *testing.T) {
 func populateFullRegistry(t *testing.T) *telemetry.Registry {
 	t.Helper()
 	sys := norman.New(norman.KOPI)
+	sys.EnableRecovery() // before EnableTelemetry so recovery.* metrics register
 	reg := sys.EnableTelemetry()
 	w := sys.World()
 

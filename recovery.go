@@ -1,0 +1,249 @@
+package norman
+
+import (
+	"fmt"
+
+	"norman/internal/arch"
+	"norman/internal/filter"
+	"norman/internal/qos"
+	"norman/internal/recovery"
+	"norman/internal/telemetry"
+)
+
+// ErrControlPlaneDown re-exports the typed mutation-rejection error so API
+// users can errors.Is against the public package.
+var ErrControlPlaneDown = recovery.ErrControlPlaneDown
+
+// EnableRecovery attaches the crash-recovery subsystem: every control-plane
+// mutation (iptables, tc, dial/close) is journaled before it is applied,
+// CrashControlPlane/RestartControlPlane model outages, and the reconciler
+// repairs intended-vs-live divergence on restart. Idempotent; returns the
+// manager either way.
+func (s *System) EnableRecovery() *recovery.Manager {
+	if s.rec == nil {
+		s.rec = recovery.NewManager()
+		if s.w.Tracer != nil {
+			s.rec.SetTracer(s.w.Tracer)
+		}
+		if s.reg != nil {
+			s.rec.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
+		}
+	}
+	return s.rec
+}
+
+// Recovery returns the recovery manager, nil before EnableRecovery.
+func (s *System) Recovery() *recovery.Manager { return s.rec }
+
+// CrashControlPlane kills the control plane at the current virtual time:
+// its in-memory policy state (rule lists, qdisc bindings, the admin's rule
+// view) is wiped, and every mutation until RestartControlPlane fails with
+// ErrControlPlaneDown. What the *dataplane* does meanwhile is the
+// architecture's answer — rings keep forwarding, the kernel stack stops.
+func (s *System) CrashControlPlane() error {
+	if s.rec == nil {
+		return fmt.Errorf("norman: crash: EnableRecovery first")
+	}
+	cr, ok := s.a.(arch.ControlPlaneCrasher)
+	if !ok {
+		return fmt.Errorf("norman: %s: %w", s.a.Name(), arch.ErrUnsupported)
+	}
+	s.rec.Crash(s.w.Eng.Now())
+	s.rules = nil
+	cr.CrashControlPlane()
+	return nil
+}
+
+// RestartControlPlane revives the control plane and reconciles: the journal
+// is replayed into intent, live NIC/kernel/filter state is diffed against
+// it, divergence is repaired, and the invariant checker proves the result.
+func (s *System) RestartControlPlane() (*recovery.Report, error) {
+	if s.rec == nil {
+		return nil, fmt.Errorf("norman: restart: EnableRecovery first")
+	}
+	cr, ok := s.a.(arch.ControlPlaneCrasher)
+	if !ok {
+		return nil, fmt.Errorf("norman: %s: %w", s.a.Name(), arch.ErrUnsupported)
+	}
+	cr.RestartControlPlane()
+	rep, err := s.rec.Restart(s.w.Eng.Now(), s.recoveryLive(), sysApplier{s})
+	if err != nil {
+		return nil, err
+	}
+	s.commitNICConfig()
+	return rep, nil
+}
+
+// RecoverFromJournal seeds an empty journal from persisted entries (the
+// normand cold-start path), marks the incarnation boundary — connections in
+// the old entries belonged to processes that died with the previous daemon
+// — and reconciles what remains (rules and qdisc config are re-installed;
+// pre-epoch connections are reported stale, not resurrected).
+func (s *System) RecoverFromJournal(entries []recovery.Entry) (*recovery.Report, error) {
+	rec := s.EnableRecovery()
+	if err := rec.Journal().Load(entries); err != nil {
+		return nil, err
+	}
+	rec.MarkEpoch(s.w.Eng.Now())
+	rep, err := rec.Restart(s.w.Eng.Now(), s.recoveryLive(), sysApplier{s})
+	if err != nil {
+		return nil, err
+	}
+	s.commitNICConfig()
+	return rep, nil
+}
+
+// recoveryLive builds the reconciler's view of live state. The closures
+// re-read the architecture on every call — a crash replaces the filter
+// engine wholesale, so capturing a pointer here would diff against the dead
+// incarnation's heap.
+func (s *System) recoveryLive() recovery.Live {
+	return recovery.Live{
+		NIC:         s.w.NIC,
+		Kern:        s.w.Kern,
+		RingPerConn: s.a.Caps().Transfers == 1,
+		RuleCount: func(hook string) int {
+			f, ok := s.a.(interface{ Filter() *filter.Engine })
+			if !ok {
+				return 0
+			}
+			return len(f.Filter().Chain(hookOf(hook)).Rules)
+		},
+		Qdisc: func() qos.Qdisc {
+			if s.a.Caps().Transfers == 1 {
+				return s.w.NIC.Scheduler()
+			}
+			if q, ok := s.a.(interface{ Qdisc() qos.Qdisc }); ok {
+				return q.Qdisc()
+			}
+			return nil
+		},
+	}
+}
+
+// Qdisc returns the live egress scheduler, nil when none is installed. It
+// reads the same state the reconciler diffs, so a qdisc reinstalled from
+// the journal is visible here even though no TCSet ran in this process.
+func (s *System) Qdisc() qos.Qdisc {
+	return s.recoveryLive().Qdisc()
+}
+
+// commitNICConfig refreshes the NIC's whole-config last-good snapshot after
+// a successful control-plane mutation (or reconciliation) on ring
+// architectures.
+func (s *System) commitNICConfig() {
+	if s.rec == nil || s.a.Caps().Transfers != 1 {
+		return
+	}
+	s.w.NIC.CommitConfig(s.w.Eng.Now())
+}
+
+// hookOf maps the admin-facing hook name to the filter hook.
+func hookOf(hook string) filter.Hook {
+	if hook == Input {
+		return filter.HookInput
+	}
+	return filter.HookOutput
+}
+
+// sysApplier is the reconciler's repair surface over a System: it reapplies
+// journaled intent through the raw (non-journaling) mutation paths.
+type sysApplier struct{ s *System }
+
+// ReinstallRules recompiles the full intended rule list from scratch.
+func (ap sysApplier) ReinstallRules(rules []recovery.RuleRecord) error {
+	s := ap.s
+	if err := s.a.FlushRules(); err != nil {
+		return err
+	}
+	s.rules = nil
+	for _, rr := range rules {
+		r := recordToRule(rr)
+		if err := s.applyRule(rr.Hook, r); err != nil {
+			return err
+		}
+		s.rules = append(s.rules, installedRule{hook: rr.Hook, rule: r})
+	}
+	return nil
+}
+
+// ReinstallQdisc re-creates the intended scheduler.
+func (ap sysApplier) ReinstallQdisc(q recovery.QdiscRecord) error {
+	spec := QdiscSpec{
+		Kind:       q.Kind,
+		Weights:    q.Weights,
+		RateBps:    q.RateBps,
+		BurstBytes: q.BurstBytes,
+		Limit:      q.Limit,
+	}
+	return ap.s.applyQdisc(spec, q.ClassOfUID)
+}
+
+// RestoreConn re-inserts a lost kernel table row under its original id.
+func (ap sysApplier) RestoreConn(rec recovery.ConnRecord, id uint64) error {
+	_, err := ap.s.w.Kern.RestoreConn(id, rec.PID, rec.Flow, ap.s.w.Eng.Now())
+	return err
+}
+
+// RepairSteering re-installs a connection's flow-director entry.
+func (ap sysApplier) RepairSteering(rec recovery.ConnRecord, id uint64) error {
+	return ap.s.w.NIC.SteerFlow(rec.Flow, id)
+}
+
+// ruleToRecord converts an admin rule to its journal form.
+func ruleToRecord(hook string, r Rule) *recovery.RuleRecord {
+	return &recovery.RuleRecord{
+		Hook:     hook,
+		Proto:    r.Proto,
+		SrcNet:   r.SrcNet,
+		DstNet:   r.DstNet,
+		SrcPort:  r.SrcPort,
+		DstPort:  r.DstPort,
+		OwnerUID: r.OwnerUID,
+		OwnerCmd: r.OwnerCmd,
+		Action:   r.Action,
+		Mark:     r.Mark,
+	}
+}
+
+// recordToRule converts a journal record back to the admin form.
+func recordToRule(rr recovery.RuleRecord) Rule {
+	return Rule{
+		Proto:    rr.Proto,
+		SrcNet:   rr.SrcNet,
+		DstNet:   rr.DstNet,
+		SrcPort:  rr.SrcPort,
+		DstPort:  rr.DstPort,
+		OwnerUID: rr.OwnerUID,
+		OwnerCmd: rr.OwnerCmd,
+		Action:   rr.Action,
+		Mark:     rr.Mark,
+	}
+}
+
+// gate rejects the mutation when the control plane is down; a nil manager
+// (recovery not enabled) never gates.
+func (s *System) gate() error {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.Gate()
+}
+
+// record journals a mutation when recovery is enabled. The zero Entry seq
+// means "not journaled".
+func (s *System) record(e recovery.Entry) recovery.Entry {
+	if s.rec == nil {
+		return recovery.Entry{}
+	}
+	return s.rec.Record(s.w.Eng.Now(), e)
+}
+
+// abortRecord compensates a journaled mutation whose application failed.
+func (s *System) abortRecord(e recovery.Entry) {
+	if s.rec != nil && e.Seq != 0 {
+		s.rec.Abort(s.w.Eng.Now(), e.Seq)
+	}
+}
+
+var _ recovery.Applier = sysApplier{}

@@ -44,6 +44,10 @@ NORMAN_WORKERS=8 go test -race -count=1 ./internal/sim/... ./internal/experiment
 # Fault-injection determinism under race at an explicit non-default seed:
 # the E9 table must be byte-identical sequentially and at any pool width.
 NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E9|Fault|Trap|Abort' ./internal/experiments/... ./internal/faults/... ./internal/transport/... ./internal/nic/... ./internal/overlay/...
+# Crash-recovery determinism under race at the same non-default seed: the
+# E10 table (crash, journal replay, reconciliation) must also be
+# byte-identical sequentially and at any pool width.
+NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E10|Recovery|Journal|Reconcile' ./internal/experiments/... ./internal/recovery/... ./internal/ctl/...
 
 # pcap round-trip smoke: boot a real daemon, capture through the control
 # socket, and validate the exported file carries the classic little-endian
@@ -64,4 +68,46 @@ done
 kill "$daemon_pid"
 [ -s "$tmp/out.pcap" ]
 head -c 4 "$tmp/out.pcap" | od -An -tx1 | tr -d ' \n' | grep -q '^d4c3b2a1$'
+
+# Unreachable smoke: with no daemon on the socket, every tool must exit
+# nonzero with the one-line diagnosis instead of a stack trace or a hang.
+go build -o "$tmp/niptables" ./cmd/niptables
+go build -o "$tmp/nnetstat" ./cmd/nnetstat
+if "$tmp/niptables" -socket "$tmp/absent.sock" -L 2>"$tmp/unreach.err"; then
+	echo "niptables against a dead socket must exit nonzero" >&2
+	exit 1
+fi
+grep -q "normand unreachable at $tmp/absent.sock" "$tmp/unreach.err"
+
+# Crash-recovery smoke: boot a journaled daemon, install a policy, SIGKILL
+# it mid-flight, restart it on the same journal, and assert the reconciler
+# replays the intent and reports a clean intended-vs-live diff.
+"$tmp/normand" -socket "$tmp/rec.sock" -journal "$tmp/intent.journal" &
+rec_pid=$!
+i=0
+while [ ! -S "$tmp/rec.sock" ]; do
+	i=$((i + 1))
+	[ "$i" -le 100 ] || { echo "journaled normand never opened its socket" >&2; exit 1; }
+	sleep 0.1
+done
+"$tmp/niptables" -socket "$tmp/rec.sock" -A OUTPUT -p udp -dport 9999 -j DROP
+"$tmp/ntcpdump" -socket "$tmp/rec.sock" -advance 5 udp >/dev/null
+kill -9 "$rec_pid"
+wait "$rec_pid" 2>/dev/null || true
+rm -f "$tmp/rec.sock"
+[ -s "$tmp/intent.journal" ]
+"$tmp/normand" -socket "$tmp/rec.sock" -journal "$tmp/intent.journal" >"$tmp/rec.out" &
+daemon_pid=$!
+i=0
+while [ ! -S "$tmp/rec.sock" ]; do
+	i=$((i + 1))
+	[ "$i" -le 100 ] || { echo "restarted normand never opened its socket" >&2; exit 1; }
+	sleep 0.1
+done
+grep -q "replayed" "$tmp/rec.out"
+"$tmp/nnetstat" -socket "$tmp/rec.sock" -recovery | tee "$tmp/rec.status"
+grep -q "diff clean" "$tmp/rec.status"
+grep -q "invariants ok" "$tmp/rec.status"
+"$tmp/niptables" -socket "$tmp/rec.sock" -L | grep -q 9999
+kill "$daemon_pid"
 echo "check.sh: all gates passed"
