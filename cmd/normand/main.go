@@ -115,19 +115,12 @@ func main() {
 // stale across the epoch), then every subsequent journal append is written
 // through with an fsync — the write-ahead property survives SIGKILL.
 func attachJournal(sys *norman.System, path string) error {
+	var entries []recovery.Entry
 	if f, err := os.Open(path); err == nil {
-		entries, derr := recovery.Decode(f)
+		entries, err = recovery.Decode(f)
 		f.Close()
-		if derr != nil {
-			return fmt.Errorf("decoding %s: %w", path, derr)
-		}
-		if len(entries) > 0 {
-			rep, rerr := sys.RecoverFromJournal(entries)
-			if rerr != nil {
-				return fmt.Errorf("replaying %s: %w", path, rerr)
-			}
-			fmt.Printf("normand: replayed %d journal entries from %s: %d rules, %d stale conns, %d repairs, clean=%v\n",
-				rep.Entries, path, rep.Rules, rep.Stale, len(rep.Actions), rep.Clean)
+		if err != nil {
+			return fmt.Errorf("decoding %s: %w", path, err)
 		}
 	} else if !os.IsNotExist(err) {
 		return err
@@ -136,6 +129,11 @@ func attachJournal(sys *norman.System, path string) error {
 	if err != nil {
 		return err
 	}
+	// The persistence hook must be live before replay: recovery itself
+	// appends the epoch-boundary entry, and if that entry never reaches the
+	// file, the next incarnation's t=0 entries follow the old incarnation's
+	// timestamps with no epoch between them and Verify rejects the journal
+	// as time going backward.
 	sys.Recovery().Journal().SetOnAppend(func(e recovery.Entry) {
 		line, err := recovery.EncodeEntry(e)
 		if err != nil {
@@ -148,6 +146,14 @@ func attachJournal(sys *norman.System, path string) error {
 		}
 		out.Sync()
 	})
+	if len(entries) > 0 {
+		rep, rerr := sys.RecoverFromJournal(entries)
+		if rerr != nil {
+			return fmt.Errorf("replaying %s: %w", path, rerr)
+		}
+		fmt.Printf("normand: replayed %d journal entries from %s: %d rules, %d stale conns, %d repairs, clean=%v\n",
+			rep.Entries, path, rep.Rules, rep.Stale, len(rep.Actions), rep.Clean)
+	}
 	return nil
 }
 

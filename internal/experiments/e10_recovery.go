@@ -23,6 +23,11 @@ const (
 	e10TrafficStart = 100 * sim.Microsecond
 	e10TrafficSpan  = 3 * sim.Millisecond
 	e10Conns        = 3
+	// Probes carry a payload size no background packet uses, so a probe
+	// delivery is counted as such even while the traffic window is still
+	// draining around it.
+	e10TrafficPayload = 256
+	e10ProbePayload   = 64
 )
 
 // E10Row is one (architecture, outage width) cell of the crash-recovery
@@ -143,12 +148,19 @@ func e10Point(name string, outage sim.Duration, pkts int, seed int64, crash bool
 
 	conns := make([]*norman.Conn, e10Conns)
 	delivered := 0
+	probeGot := make([]int, e10Conns)
 	for i := range conns {
 		c, err := sys.Dial(app, uint16(41000+i), uint16(9000+i))
 		if err != nil {
 			panic("e10: dial: " + err.Error())
 		}
-		c.OnReceive(func(norman.Delivery) { delivered++ })
+		i := i
+		c.OnReceive(func(d norman.Delivery) {
+			delivered++
+			if d.Payload == e10ProbePayload {
+				probeGot[i]++
+			}
+		})
 		conns[i] = c
 	}
 
@@ -165,7 +177,7 @@ func e10Point(name string, outage sim.Duration, pkts int, seed int64, crash bool
 		c := c
 		for k := 0; k < pkts; k++ {
 			at := e10TrafficStart + sim.Duration(k)*interval + sim.Duration(i)*sim.Microsecond
-			sys.At(at, func() { sys.InjectInbound(c, 256) })
+			sys.At(at, func() { sys.InjectInbound(c, e10TrafficPayload) })
 		}
 	}
 	sent := e10Conns * pkts
@@ -205,23 +217,22 @@ func e10Point(name string, outage sim.Duration, pkts int, seed int64, crash bool
 		})
 	}
 
-	// Post-restart probes (fired in the baseline too, so Sent matches):
-	// one packet per connection; a connection that misses its probe is
-	// broken.
+	// Post-restart probes (fired in the baseline too, so Sent matches): one
+	// distinctly-sized packet per connection; a connection whose probe never
+	// arrives is broken. The distinct payload keeps background-stream
+	// deliveries after the probe from masking a lost probe.
 	probeAt := sim.Duration(restartAt) + 300*sim.Microsecond
-	preProbe := make([]uint64, e10Conns)
-	for i, c := range conns {
-		i, c := i, c
-		sys.At(probeAt, func() { preProbe[i] = c.Delivered() })
-		sys.At(probeAt+sim.Microsecond, func() { sys.InjectInbound(c, 256) })
+	for _, c := range conns {
+		c := c
+		sys.At(probeAt, func() { sys.InjectInbound(c, e10ProbePayload) })
 	}
 	sent += e10Conns
 
 	sys.RunFor(sim.Duration(e10Horizon))
 
 	res := e10Result{sent: sent, delivered: delivered, report: report}
-	for i, c := range conns {
-		if c.Delivered() == preProbe[i] {
+	for i := range conns {
+		if probeGot[i] == 0 {
 			res.broken++
 		}
 	}

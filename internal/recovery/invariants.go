@@ -91,12 +91,18 @@ func checkQoSWeights(in *Intent, live Live) error {
 	if in.Qdisc == nil {
 		return nil
 	}
-	var wantSum float64
-	for class, w := range in.Qdisc.Weights {
-		if w <= 0 {
+	// Per-class exact comparison in sorted order: summing floats would be
+	// map-iteration-order dependent, which can differ run to run and would
+	// undermine the byte-identical determinism E10 claims.
+	classes := make([]uint32, 0, len(in.Qdisc.Weights))
+	for class := range in.Qdisc.Weights {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		if w := in.Qdisc.Weights[class]; w <= 0 {
 			return fmt.Errorf("intended weight for class %d is %v, want > 0", class, w)
 		}
-		wantSum += w
 	}
 	var q qos.Qdisc
 	if live.Qdisc != nil {
@@ -108,15 +114,16 @@ func checkQoSWeights(in *Intent, live Live) error {
 	if q.Name() != in.Qdisc.Kind {
 		return fmt.Errorf("intended qdisc %s, live %s", in.Qdisc.Kind, q.Name())
 	}
-	if wfq, ok := q.(*qos.WFQ); ok && len(in.Qdisc.Weights) > 0 {
-		var gotSum float64
-		for class, w := range wfq.Weights() {
-			if _, intended := in.Qdisc.Weights[class]; intended {
-				gotSum += w
+	if wfq, ok := q.(*qos.WFQ); ok {
+		liveW := wfq.Weights()
+		for _, class := range classes {
+			got, ok := liveW[class]
+			if !ok {
+				return fmt.Errorf("wfq missing intended class %d", class)
 			}
-		}
-		if gotSum != wantSum {
-			return fmt.Errorf("wfq weights sum %v, intended %v", gotSum, wantSum)
+			if want := in.Qdisc.Weights[class]; got != want {
+				return fmt.Errorf("wfq class %d weight %v, intended %v", class, got, want)
+			}
 		}
 	}
 	return nil

@@ -86,7 +86,10 @@ type divergence struct {
 // what diverged), re-diffs to prove convergence, and runs the invariant
 // checker. The returned report is also retained for LastReport.
 func (m *Manager) Restart(now sim.Time, live Live, ap Applier) (*Report, error) {
-	rejected := m.RejectedWhileDown
+	// Only this outage's rejections: the lifetime counter minus its value
+	// when the outage began (zero on a cold-start Restart with no Crash).
+	rejected := m.RejectedWhileDown - m.rejectedAtCrash
+	m.rejectedAtCrash = m.RejectedWhileDown
 	m.down = false
 	m.Restarts++
 

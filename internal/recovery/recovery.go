@@ -46,6 +46,11 @@ type Manager struct {
 
 	registered bool
 
+	// rejectedAtCrash snapshots RejectedWhileDown when the current outage
+	// began, so Restart can report the rejections of *this* outage rather
+	// than the lifetime total.
+	rejectedAtCrash uint64
+
 	// Counters, exposed as the telemetry registry's recovery layer.
 	Crashes           uint64
 	Restarts          uint64
@@ -98,6 +103,7 @@ func (m *Manager) Crash(now sim.Time) {
 	}
 	m.down = true
 	m.downAt = now
+	m.rejectedAtCrash = m.RejectedWhileDown
 	m.Crashes++
 	if m.tracer != nil {
 		m.traceID = m.tracer.StampID()

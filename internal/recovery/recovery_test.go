@@ -313,7 +313,7 @@ func TestInvariantCatchesBadWeights(t *testing.T) {
 	if qosRes == nil || qosRes.OK {
 		t.Fatalf("qos_weights = %+v, want failure", qosRes)
 	}
-	if !strings.Contains(qosRes.Detail, "sum") {
+	if !strings.Contains(qosRes.Detail, "class 1 weight 1, intended 5") {
 		t.Fatalf("detail = %q", qosRes.Detail)
 	}
 }

@@ -107,6 +107,115 @@ func TestKernelStackCrashStopsDataplane(t *testing.T) {
 	}
 }
 
+// TestRejectedPerOutage pins Report.Rejected to the outage it reports:
+// across two crash/restart cycles each restart must count only its own
+// outage's refused mutations, not the lifetime total.
+func TestRejectedPerOutage(t *testing.T) {
+	sys := norman.New(norman.KOPI)
+	sys.EnableRecovery()
+	sys.UseEchoPeer()
+
+	if err := sys.CrashControlPlane(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := sys.IPTablesAppend(norman.Input, norman.Rule{Action: "count"}); !errors.Is(err, norman.ErrControlPlaneDown) {
+			t.Fatalf("append while down = %v", err)
+		}
+	}
+	rep, err := sys.RestartControlPlane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 2 {
+		t.Fatalf("first outage rejected = %d, want 2", rep.Rejected)
+	}
+
+	if err := sys.CrashControlPlane(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.IPTablesAppend(norman.Input, norman.Rule{Action: "count"}); !errors.Is(err, norman.ErrControlPlaneDown) {
+		t.Fatalf("append while down = %v", err)
+	}
+	rep, err = sys.RestartControlPlane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 1 {
+		t.Fatalf("second outage rejected = %d, want 1 (not the lifetime total)", rep.Rejected)
+	}
+}
+
+// TestJournalPersistsEpochAcrossIncarnations models three normand
+// incarnations over one persisted journal, with the persistence hook
+// installed before recovery — the attachJournal order. Recovery appends the
+// epoch-boundary entry through the hook, so the third incarnation finds
+// inc1 entries, an epoch, then inc2's t=0 entries, and Verify accepts the
+// clock restarting. If the epoch were not persisted, this load would fail
+// with "journal time goes backward".
+func TestJournalPersistsEpochAcrossIncarnations(t *testing.T) {
+	// Incarnation 1: hook installed from the start, mutations at t>0.
+	var file bytes.Buffer
+	persist := func(e recovery.Entry) {
+		line, err := recovery.EncodeEntry(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file.Write(line)
+	}
+	sys1 := norman.New(norman.KOPI)
+	sys1.EnableRecovery().Journal().SetOnAppend(persist)
+	sys1.UseEchoPeer()
+	sys1.RunFor(5 * sim.Millisecond)
+	u := sys1.AddUser(1000, "alice")
+	if _, err := sys1.Dial(sys1.Spawn(u, "svc"), 40000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys1.IPTablesAppend(norman.Output, norman.Rule{Proto: "udp", DstPort: 9999, Action: "drop"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 2 (SIGKILL'd inc1): hook installed *before* recovery, as
+	// attachJournal does, then fresh t=0 mutations after the replay.
+	entries, err := recovery.Decode(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := norman.New(norman.KOPI)
+	sys2.EnableRecovery().Journal().SetOnAppend(persist)
+	sys2.UseEchoPeer()
+	if _, err := sys2.RecoverFromJournal(entries); err != nil {
+		t.Fatal(err)
+	}
+	u2 := sys2.AddUser(1000, "alice")
+	if _, err := sys2.Dial(sys2.Spawn(u2, "svc"), 40001, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 3: the persisted file must verify and replay — both
+	// previous incarnations' connections stale, the rule still intended.
+	entries, err = recovery.Decode(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys3 := norman.New(norman.KOPI)
+	sys3.UseEchoPeer()
+	rep, err := sys3.RecoverFromJournal(entries)
+	if err != nil {
+		t.Fatalf("third incarnation refused the journal: %v", err)
+	}
+	if rep.Stale != 2 {
+		t.Fatalf("stale = %d, want both dead incarnations' conns", rep.Stale)
+	}
+	if !rep.InvariantsOK {
+		t.Fatalf("invariants: %+v", rep.Invariants)
+	}
+	rules := sys3.IPTablesList()
+	if len(rules) != 1 || rules[0].Rule.DstPort != 9999 {
+		t.Fatalf("rules after second cold start = %+v", rules)
+	}
+}
+
 // TestRecoverFromJournalColdStart models a normand SIGKILL + restart: the
 // journal survives on disk (here: encoded bytes), the new incarnation loads
 // it, marks the epoch, reinstalls policies, and reports the old

@@ -79,9 +79,13 @@ if "$tmp/niptables" -socket "$tmp/absent.sock" -L 2>"$tmp/unreach.err"; then
 fi
 grep -q "normand unreachable at $tmp/absent.sock" "$tmp/unreach.err"
 
-# Crash-recovery smoke: boot a journaled daemon, install a policy, SIGKILL
-# it mid-flight, restart it on the same journal, and assert the reconciler
-# replays the intent and reports a clean intended-vs-live diff.
+# Crash-recovery smoke: boot a journaled daemon, advance time, install a
+# policy, SIGKILL it mid-flight, restart it on the same journal, and assert
+# the reconciler replays the intent and reports a clean intended-vs-live
+# diff. The clock is advanced *before* the rule lands so the journal holds
+# a t>0 entry — the second kill cycle below then proves the restarted
+# daemon persisted its epoch-boundary entry (without it, the third start
+# would refuse the journal as time going backward).
 "$tmp/normand" -socket "$tmp/rec.sock" -journal "$tmp/intent.journal" &
 rec_pid=$!
 i=0
@@ -90,8 +94,8 @@ while [ ! -S "$tmp/rec.sock" ]; do
 	[ "$i" -le 100 ] || { echo "journaled normand never opened its socket" >&2; exit 1; }
 	sleep 0.1
 done
-"$tmp/niptables" -socket "$tmp/rec.sock" -A OUTPUT -p udp -dport 9999 -j DROP
 "$tmp/ntcpdump" -socket "$tmp/rec.sock" -advance 5 udp >/dev/null
+"$tmp/niptables" -socket "$tmp/rec.sock" -A OUTPUT -p udp -dport 9999 -j DROP
 kill -9 "$rec_pid"
 wait "$rec_pid" 2>/dev/null || true
 rm -f "$tmp/rec.sock"
@@ -109,5 +113,30 @@ grep -q "replayed" "$tmp/rec.out"
 grep -q "diff clean" "$tmp/rec.status"
 grep -q "invariants ok" "$tmp/rec.status"
 "$tmp/niptables" -socket "$tmp/rec.sock" -L | grep -q 9999
+
+# Second kill cycle on the same journal: mutate at t>0 again, SIGKILL, and
+# restart a third incarnation. This fails unless the second incarnation
+# wrote its epoch entry (and every recovery-time append) through to the
+# journal file.
+"$tmp/ntcpdump" -socket "$tmp/rec.sock" -advance 5 udp >/dev/null
+"$tmp/niptables" -socket "$tmp/rec.sock" -A OUTPUT -p udp -dport 8888 -j DROP
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+rm -f "$tmp/rec.sock"
+"$tmp/normand" -socket "$tmp/rec.sock" -journal "$tmp/intent.journal" >"$tmp/rec2.out" &
+daemon_pid=$!
+i=0
+while [ ! -S "$tmp/rec.sock" ]; do
+	i=$((i + 1))
+	[ "$i" -le 100 ] || { echo "twice-restarted normand never opened its socket" >&2; exit 1; }
+	sleep 0.1
+done
+grep -q "replayed" "$tmp/rec2.out"
+"$tmp/nnetstat" -socket "$tmp/rec.sock" -recovery | tee "$tmp/rec2.status"
+grep -q "diff clean" "$tmp/rec2.status"
+grep -q "invariants ok" "$tmp/rec2.status"
+"$tmp/niptables" -socket "$tmp/rec.sock" -L >"$tmp/rec2.rules"
+grep -q 9999 "$tmp/rec2.rules"
+grep -q 8888 "$tmp/rec2.rules"
 kill "$daemon_pid"
 echo "check.sh: all gates passed"
