@@ -231,7 +231,17 @@ func (s *System) applyQdisc(spec QdiscSpec, classOfUID map[uint32]uint32) error 
 		}
 		return classOfUID[p.Meta.UID]
 	}
-	return s.a.SetQdisc(q, classify)
+	if err := s.a.SetQdisc(q, classify); err != nil {
+		return err
+	}
+	// With the overload governor active, the same class weights that drive
+	// egress scheduling also drive ingress shedding: under saturation the NIC
+	// drops low-weight classes first. Installed here (the raw path) so the
+	// crash reconciler's qdisc replay re-arms shedding too.
+	if s.gov != nil && len(spec.Weights) > 0 {
+		s.gov.InstallShedding(func(uid uint32) uint32 { return classOfUID[uid] }, spec.Weights)
+	}
+	return nil
 }
 
 // Capture is a running tcpdump session.

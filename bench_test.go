@@ -111,3 +111,12 @@ func BenchmarkE10Recovery(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE11Overload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE11(benchScale)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package norman_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"norman"
+	"norman/internal/faults"
+	"norman/internal/overload"
+	"norman/internal/recovery"
+	"norman/internal/sim"
+)
+
+// chaosResult is the fingerprint one soak run leaves behind: every externally
+// visible count the composed subsystems produce. Two runs of the same seeded
+// schedule must produce identical fingerprints.
+type chaosResult struct {
+	Delivered         int
+	AdmissionRejected int
+	DownRejected      int
+
+	TxLost      uint64
+	TxCorrupted uint64
+	TxReordered uint64
+	RingBursts  uint64
+
+	Admitted    uint64
+	Transitions uint64
+	Signals     uint64
+	Shed        uint64
+
+	ReportClean      bool
+	ReportInvariants bool
+	ReportRejected   int
+	RulesAfter       int
+}
+
+// chaosRun composes the three robustness layers this repo has grown — the
+// PR 2 fault injector (wire loss/corrupt/reorder + ring-pressure bursts),
+// the PR 4 crash/recovery machinery (control-plane kill + journal replay +
+// reconciliation), and the overload governor (admission, watchdog,
+// priority shedding) — into one seeded virtual-time schedule.
+func chaosRun(t *testing.T) chaosResult {
+	t.Helper()
+	const horizon = 5 * sim.Millisecond
+
+	sys := norman.New(norman.KOPI)
+	sys.EnableRecovery()
+	sys.EnableTelemetry()
+	gov := sys.EnableOverload(overload.Config{
+		MaxConnsPerTenant: 8,
+		SampleEvery:       10 * sim.Microsecond,
+		EscalateAfter:     1,
+		ClearAfter:        2,
+	})
+	sys.UseEchoPeer()
+
+	w := sys.World()
+	inj := faults.New(w.Eng, w.NIC, w.LLC, faults.Config{
+		Seed:  7,
+		Label: "chaos",
+		Tx:    faults.WireConfig{Loss: 0.05, Corrupt: 0.02, Reorder: 0.03, Duplicate: 0.02},
+		Ring:  faults.RingConfig{Period: 250 * sim.Microsecond, Window: 1, DDIOLines: 2048},
+	})
+	inj.AttachTx()
+
+	hi := sys.AddUser(1000, "hi")
+	lo := sys.AddUser(1001, "lo")
+	hiApp := sys.Spawn(hi, "hi-svc")
+	loApp := sys.Spawn(lo, "lo-svc")
+
+	// The qdisc arms both egress WFQ and the governor's ingress shedding:
+	// class 1 (weight 8) is protected, class 2 (weight 1) is shed first.
+	if err := sys.TCSet(norman.QdiscSpec{Kind: "wfq", Weights: map[uint32]float64{1: 8, 2: 1}},
+		map[uint32]uint32{hi.UID: 1, lo.UID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// A filter rule installed pre-crash: the reconciler must carry it across.
+	if err := sys.IPTablesAppend(norman.Output, norman.Rule{Proto: "udp", DstPort: 9999, Action: "drop"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Admission under budget: the low tenant offers 12 connections against
+	// its 8-conn cap — exactly 4 must bounce with the typed error.
+	res := chaosResult{}
+	var conns []*norman.Conn
+	for i := 0; i < 4; i++ {
+		c, err := sys.Dial(hiApp, uint16(41000+i), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	for i := 0; i < 12; i++ {
+		c, err := sys.Dial(loApp, uint16(42000+i), 7)
+		if err != nil {
+			if !errors.Is(err, norman.ErrAdmission) {
+				t.Fatalf("low-tenant dial %d = %v, want ErrAdmission", i, err)
+			}
+			res.AdmissionRejected++
+			continue
+		}
+		conns = append(conns, c)
+	}
+	for _, c := range conns {
+		c.OnReceive(func(norman.Delivery) { res.Delivered++ })
+	}
+
+	// Echo traffic across the whole horizon, spanning the outage.
+	for i := 0; i < 1000; i++ {
+		c := conns[i%len(conns)]
+		sys.At(sim.Duration(i)*4*sim.Microsecond, func() { c.Send(512) })
+	}
+
+	// Kill the control plane mid-traffic; mutations bounce typed while it is
+	// down; the restart replays the journal under ongoing wire faults and
+	// ring pressure.
+	var rep *recovery.Report
+	sys.At(1500*sim.Microsecond, func() {
+		if err := sys.CrashControlPlane(); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	})
+	sys.At(1700*sim.Microsecond, func() {
+		if err := sys.IPTablesAppend(norman.Input, norman.Rule{Action: "count"}); errors.Is(err, norman.ErrControlPlaneDown) {
+			res.DownRejected++
+		}
+		if _, err := sys.Dial(loApp, 43000, 7); errors.Is(err, norman.ErrControlPlaneDown) {
+			res.DownRejected++
+		}
+	})
+	sys.At(2100*sim.Microsecond, func() {
+		r, err := sys.RestartControlPlane()
+		if err != nil {
+			t.Errorf("restart: %v", err)
+			return
+		}
+		rep = r
+	})
+
+	gov.Start(sim.Time(horizon))
+	inj.Start(sim.Time(horizon))
+	sys.RunFor(horizon)
+	sys.Run() // drain in-flight echoes; the watchdog is paused for the drain
+
+	res.TxLost = inj.Tx.Lost
+	res.TxCorrupted = inj.Tx.Corrupted
+	res.TxReordered = inj.Tx.Reordered
+	res.RingBursts = inj.RingBursts
+
+	snap := gov.Snapshot()
+	res.Admitted = snap.Admitted
+	res.Transitions = snap.Transitions
+	res.Signals = snap.Signals
+	res.Shed = snap.ShedPackets
+
+	if rep == nil {
+		t.Fatal("the restart never ran")
+	}
+	res.ReportClean = rep.Clean
+	res.ReportInvariants = rep.InvariantsOK
+	res.ReportRejected = rep.Rejected
+	res.RulesAfter = len(sys.IPTablesList())
+	return res
+}
+
+// TestChaosSoak is the composition gate: faults, crash recovery and overload
+// control running in the same world must not break each other's invariants,
+// and the whole composed schedule must stay deterministic.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak composes three subsystems over a 5ms schedule; skipped in -short")
+	}
+	r := chaosRun(t)
+
+	// Admission stayed typed under pressure: 12 offered against the 8 cap.
+	if r.AdmissionRejected != 4 {
+		t.Errorf("admission rejected = %d, want 4", r.AdmissionRejected)
+	}
+	if r.Admitted != 12 {
+		t.Errorf("admitted = %d, want 12 (4 hi + 8 lo)", r.Admitted)
+	}
+	// The outage refused both mutation kinds with the typed error, and the
+	// reconciler counted them.
+	if r.DownRejected != 2 {
+		t.Errorf("typed down-rejections = %d, want 2", r.DownRejected)
+	}
+	if r.ReportRejected < 2 {
+		t.Errorf("report rejected = %d, want >= 2", r.ReportRejected)
+	}
+	// Recovery invariants hold even with wire faults and ring bursts live.
+	if !r.ReportClean || !r.ReportInvariants {
+		t.Errorf("restart under pressure must reconcile clean with invariants ok: %+v", r)
+	}
+	if r.RulesAfter != 1 {
+		t.Errorf("rules after recovery = %d, want the pre-crash rule", r.RulesAfter)
+	}
+	// The faults actually bit, and traffic still flowed through all of it.
+	if r.TxLost == 0 || r.TxCorrupted == 0 || r.RingBursts == 0 {
+		t.Errorf("fault layer idle: %+v", r)
+	}
+	if r.Delivered == 0 {
+		t.Error("no echoes delivered through the chaos")
+	}
+	// The watchdog saw the ring bursts and cycled.
+	if r.Transitions == 0 || r.Signals == 0 {
+		t.Errorf("watchdog never reacted to pressure: %+v", r)
+	}
+
+	// And the entire composition is deterministic: a second execution of the
+	// same seeded schedule leaves a byte-identical fingerprint.
+	if r2 := chaosRun(t); !reflect.DeepEqual(r, r2) {
+		t.Errorf("chaos soak not deterministic:\nrun1 %+v\nrun2 %+v", r, r2)
+	}
+}

@@ -1,4 +1,4 @@
-// Command kopibench regenerates the paper-reproduction experiments (E1–E10
+// Command kopibench regenerates the paper-reproduction experiments (E1–E11
 // in DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -66,6 +66,8 @@ var registry = map[string]struct {
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE9Telemetry(s, e9Telemetry); return t }},
 	"E10": {"control-plane crash recovery: dataplane survival, journal replay, reconciliation",
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE10(s); return t }},
+	"E11": {"overload control across the DDIO cliff: admission, backpressure, priority shedding",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE11(s); return t }},
 }
 
 // e9Telemetry is the observability sink E9 fills when -metrics-out is set
@@ -94,7 +96,7 @@ type engineRecord struct {
 }
 
 func main() {
-	exp := flag.String("e", "", "experiment id (E1..E10); empty = all")
+	exp := flag.String("e", "", "experiment id (E1..E11); empty = all")
 	scale := flag.Float64("scale", 1.0, "duration/sweep scale factor (1.0 = full)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Bool("parallel", false, "fan each experiment's independent worlds across all cores")

@@ -5,7 +5,9 @@
 // JSON with -json), covering every layer from host syscalls to the NIC.
 // With -recovery it reports the crash-recovery subsystem: journal size,
 // control-plane up/down state, and the last reconciliation (diff clean or
-// not, invariants, repairs).
+// not, invariants, repairs). With -pressure it reports the overload
+// governor: watchdog health state, admission budgets and rejections, and
+// shed/backpressure accounting.
 package main
 
 import (
@@ -22,6 +24,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the daemon's telemetry registry instead of connections")
 	jsonOut := flag.Bool("json", false, "with -metrics: render JSON instead of Prometheus text")
 	recoveryFlag := flag.Bool("recovery", false, "show the daemon's crash-recovery status (journal, last reconciliation)")
+	pressure := flag.Bool("pressure", false, "show the daemon's overload-governor status (watchdog state, admission, shedding)")
 	flag.Parse()
 
 	c, err := ctl.Dial(*socket)
@@ -29,6 +32,33 @@ func main() {
 		fatal(err)
 	}
 	defer c.Close()
+
+	if *pressure {
+		var data ctl.OverloadData
+		if err := c.Call(ctl.OpOverload, nil, &data); err != nil {
+			fatal(err)
+		}
+		if !data.Enabled {
+			fmt.Println("watchdog: overload control not enabled on this daemon")
+			return
+		}
+		sampling := "stopped"
+		if data.Watching {
+			sampling = "sampling"
+		}
+		fmt.Printf("watchdog: %s (%s, %d transitions)\n", data.State, sampling, data.Transitions)
+		fmt.Printf("admission: %d admitted, rejected %d ddio / %d tenant / %d pressure\n",
+			data.Admitted, data.RejectedDDIO, data.RejectedTenant, data.RejectedLoad)
+		budget := "unlimited"
+		if data.RingBudget > 0 {
+			budget = fmt.Sprintf("%d", data.RingBudget)
+		}
+		fmt.Printf("ring budget: %d / %s bytes (occupancy %.2f, fifo %.2f)\n",
+			data.RingBytes, budget, data.Occupancy, data.FifoFrac)
+		fmt.Printf("degradation: %d packets shed, %d backpressure signals\n",
+			data.ShedPackets, data.Signals)
+		return
+	}
 
 	if *recoveryFlag {
 		var data ctl.RecoveryData

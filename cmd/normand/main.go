@@ -22,6 +22,7 @@ import (
 
 	"norman"
 	"norman/internal/ctl"
+	"norman/internal/overload"
 	"norman/internal/packet"
 	"norman/internal/recovery"
 	"norman/internal/wire"
@@ -39,6 +40,10 @@ func main() {
 	// in the intent journal, so a SIGKILL'd daemon restarted with the same
 	// -journal reconciles instead of starting blind.
 	sys.EnableRecovery()
+	// Overload control before the demo dials, so they pass through admission
+	// like any tenant's would; the watchdog samples as ctl requests step
+	// virtual time, and nnetstat -pressure reads its state.
+	sys.EnableOverload(overload.Config{}).Start(0)
 	// Observability on from the start: the metrics registry and the packet
 	// tracer feed nnetstat -metrics and ntcpdump -trace.
 	reg := sys.EnableTelemetry()

@@ -37,10 +37,18 @@ func (s *System) DialTCP(proc *Process, localPort, remotePort uint16) (*Conn, er
 // dial runs the journaled connection setup: conn.open is written before the
 // kernel/NIC work, conn.bind (carrying the kernel-assigned id) after it
 // succeeds. A crash between the two leaves a visibly incomplete pair the
-// reconciler reports instead of resurrecting.
+// reconciler reports instead of resurrecting. With the overload governor
+// enabled, admission control runs first: a typed AdmissionError (wrapping
+// ErrAdmission) refuses the connection before any kernel or NIC state is
+// touched, so rejection is free and leaves nothing to reconcile.
 func (s *System) dial(proc *Process, flow packet.FlowKey) (*Conn, error) {
 	if err := s.gate(); err != nil {
 		return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
+	}
+	if s.gov != nil {
+		if err := s.gov.AdmitConn(proc.UID()); err != nil {
+			return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
+		}
 	}
 	open := s.record(recovery.Entry{Op: recovery.OpConnOpen, Conn: &recovery.ConnRecord{
 		Flow: flow, PID: proc.PID(), UID: proc.UID(), Command: proc.Command(),
@@ -48,6 +56,9 @@ func (s *System) dial(proc *Process, flow packet.FlowKey) (*Conn, error) {
 	c, err := s.a.Connect(proc.p, flow)
 	if err != nil {
 		s.abortRecord(open)
+		if s.gov != nil {
+			s.gov.ReleaseConn(proc.UID())
+		}
 		return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
 	}
 	if open.Seq != 0 {
@@ -69,6 +80,9 @@ func (c *Conn) Close() error {
 	if err := s.a.Close(c.c); err != nil {
 		s.abortRecord(e)
 		return err
+	}
+	if s.gov != nil {
+		s.gov.ReleaseConn(c.c.Info.UID)
 	}
 	s.commitNICConfig()
 	return nil

@@ -43,6 +43,7 @@ const (
 	OpTelemetry     = "telemetry.dump"
 	OpTrace         = "trace.get"
 	OpRecovery      = "recovery.status"
+	OpOverload      = "overload.status"
 )
 
 // IdempotentOp reports whether op is a read-only query the client may
@@ -52,7 +53,7 @@ const (
 func IdempotentOp(op string) bool {
 	switch op {
 	case OpStatus, OpIPTablesList, OpTCShow, OpDumpFetch, OpDumpPcap,
-		OpNetstat, OpARP, OpTelemetry, OpTrace, OpRecovery:
+		OpNetstat, OpARP, OpTelemetry, OpTrace, OpRecovery, OpOverload:
 		return true
 	}
 	return false
@@ -202,6 +203,27 @@ type RecoveryData struct {
 	InvariantsOK bool     `json:"invariants_ok"`
 	Clean        bool     `json:"clean"`
 	RecoveryTime string   `json:"recovery_time,omitempty"`
+}
+
+// OverloadData is the overload governor's snapshot: watchdog health,
+// admission budgets and counters, and degradation accounting
+// (overload.status). Enabled reports whether the daemon runs a governor at
+// all — the remaining fields are zero when it does not.
+type OverloadData struct {
+	Enabled        bool    `json:"enabled"`
+	State          string  `json:"state,omitempty"`
+	Watching       bool    `json:"watching,omitempty"`
+	Transitions    uint64  `json:"transitions,omitempty"`
+	Admitted       uint64  `json:"admitted,omitempty"`
+	RejectedDDIO   uint64  `json:"rejected_ddio,omitempty"`
+	RejectedTenant uint64  `json:"rejected_tenant,omitempty"`
+	RejectedLoad   uint64  `json:"rejected_pressure,omitempty"`
+	RingBytes      int     `json:"ring_bytes,omitempty"`
+	RingBudget     int     `json:"ring_budget_bytes,omitempty"`
+	Occupancy      float64 `json:"occupancy_frac,omitempty"`
+	FifoFrac       float64 `json:"fifo_frac,omitempty"`
+	ShedPackets    uint64  `json:"shed_packets,omitempty"`
+	Signals        uint64  `json:"backpressure_signals,omitempty"`
 }
 
 // Marshal is a helper for building requests.

@@ -209,6 +209,8 @@ func (s *Server) dispatch(req Request) (data json.RawMessage, err error) {
 		return s.traceGet(a)
 	case OpRecovery:
 		return s.recoveryStatus()
+	case OpOverload:
+		return s.overloadStatus()
 	default:
 		return nil, fmt.Errorf("ctl: unknown op %q", req.Op)
 	}
@@ -445,6 +447,34 @@ func (s *Server) recoveryStatus() (json.RawMessage, error) {
 		data.RecoveryTime = rep.RecoveryTime.String()
 	}
 	return marshal(data)
+}
+
+// overloadStatus reports the overload governor's watchdog state, admission
+// budgets and degradation counters (overload.status). A daemon without a
+// governor answers Enabled=false rather than erroring, so nnetstat -pressure
+// degrades gracefully.
+func (s *Server) overloadStatus() (json.RawMessage, error) {
+	gov := s.sys.Overload()
+	if gov == nil {
+		return marshal(OverloadData{Enabled: false})
+	}
+	snap := gov.Snapshot()
+	return marshal(OverloadData{
+		Enabled:        true,
+		State:          snap.State,
+		Watching:       snap.Watching,
+		Transitions:    snap.Transitions,
+		Admitted:       snap.Admitted,
+		RejectedDDIO:   snap.RejectedDDIO,
+		RejectedTenant: snap.RejectedTenant,
+		RejectedLoad:   snap.RejectedLoad,
+		RingBytes:      snap.RingBytes,
+		RingBudget:     snap.RingBudget,
+		Occupancy:      snap.Occupancy,
+		FifoFrac:       snap.FifoFrac,
+		ShedPackets:    snap.ShedPackets,
+		Signals:        snap.Signals,
+	})
 }
 
 // RegisterMetrics exposes the control plane's own request accounting on a

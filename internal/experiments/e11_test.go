@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestE11Determinism pins the overload table: the governor's watchdog runs on
+// virtual-time timers and the shed policy on seeded per-world state, so the
+// whole E11 table — goodput split, p99, admission counts, shed totals, the
+// silent-loss ledger — is byte-identical at any worker width.
+func TestE11Determinism(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	seq, seqTable := RunE11(0.12)
+
+	SetWorkers(8)
+	wide, wideTable := RunE11(0.12)
+
+	if !reflect.DeepEqual(seq, wide) {
+		t.Fatalf("E11 rows differ between 1 and 8 workers:\n%+v\n%+v", seq, wide)
+	}
+	if seqTable.String() != wideTable.String() {
+		t.Fatalf("E11 tables differ between 1 and 8 workers:\n%s\n%s",
+			seqTable.String(), wideTable.String())
+	}
+}
+
+// TestE11GracefulDegradation asserts the architectural content of the table:
+// past the DDIO cliff the uncontrolled bypass world collapses (high-class
+// goodput falls, p99 balloons, drops grow without bound), while the governed
+// world degrades by policy — high-class goodput at 8192 connections stays
+// within 90% of its 1024-connection value, admission caps the ring working
+// set with typed rejections, the low class (not the high one) absorbs the
+// loss, and every non-delivered frame in BOTH worlds sits in exactly one
+// counter (zero silent losses).
+func TestE11GracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-fidelity sweep (~4s): the sub-0.5 scales shorten runs into the warm-up transient")
+	}
+	// Scale >= 0.5 keeps the full sweep and the steady-state run length; the
+	// compressed scales measure inside the cold-cache warm-up, where even the
+	// pre-cliff points look collapsed.
+	points, _ := RunE11(0.6)
+
+	byConns := make(map[int]E11Point, len(points))
+	for _, p := range points {
+		byConns[p.Conns] = p
+	}
+	pre, ok := byConns[1024]
+	if !ok {
+		t.Fatal("sweep must include the 1024-connection pre-cliff point")
+	}
+	post, ok := byConns[8192]
+	if !ok {
+		t.Fatal("sweep must include the 8192-connection post-cliff point")
+	}
+
+	// The uncontrolled baseline exhibits the cliff.
+	if post.RawHiGbps >= 0.9*pre.RawHiGbps {
+		t.Fatalf("uncontrolled bypass must collapse past the cliff: hi %.2f -> %.2f Gbps",
+			pre.RawHiGbps, post.RawHiGbps)
+	}
+	if post.RawDrops <= pre.RawDrops {
+		t.Fatalf("uncontrolled drops must grow past the cliff: %d -> %d",
+			pre.RawDrops, post.RawDrops)
+	}
+
+	// The governed world holds the high class.
+	if post.CtlHiGbps < 0.9*pre.CtlHiGbps {
+		t.Fatalf("governed high-class goodput at 8192 conns = %.2f Gbps, want >= 90%% of the 1024-conn %.2f",
+			post.CtlHiGbps, pre.CtlHiGbps)
+	}
+	// Bounded p99 for the protected class: no worse than the collapsing
+	// baseline's.
+	if post.CtlHiP99 > post.RawHiP99 {
+		t.Fatalf("governed high-class p99 %.1fµs must not exceed the uncontrolled %.1fµs",
+			post.CtlHiP99, post.RawHiP99)
+	}
+
+	// Degradation is a policy decision, visibly accounted: admission refused
+	// the ring working set it could not afford with typed errors.
+	if post.CtlRejected == 0 {
+		t.Fatal("past the cliff the governor must reject admissions")
+	}
+	if post.CtlAdmitted >= 8192 {
+		t.Fatalf("admitted %d/8192 — admission must cap the ring working set", post.CtlAdmitted)
+	}
+	if got := post.CtlAdmitted + post.CtlRejected; got != 8192 {
+		t.Fatalf("admitted %d + rejected %d must cover all 8192 offered conns",
+			post.CtlAdmitted, post.CtlRejected)
+	}
+
+	// Zero silent losses everywhere, in both worlds: the conservation ledger
+	// (offered = delivered + every typed/counted drop) balances exactly.
+	for _, p := range points {
+		if p.RawSilent != 0 || p.CtlSilent != 0 {
+			t.Fatalf("%d conns: silent losses raw=%d ctl=%d, want 0/0 — a frame vanished unaccounted",
+				p.Conns, p.RawSilent, p.CtlSilent)
+		}
+	}
+
+	// The shed policy actually fired somewhere in the governed sweep.
+	var shed uint64
+	for _, p := range points {
+		shed += p.CtlShed
+	}
+	if shed == 0 {
+		t.Fatal("the priority-aware shed policy never fired across the sweep")
+	}
+}

@@ -16,8 +16,12 @@ func (r *Ring) RegisterMetrics(reg *telemetry.Registry, labels telemetry.Labels,
 		l, func() uint64 { _, consumed, _ := r.Counters(); return consumed })
 	reg.Counter(telemetry.Desc{Layer: "mem", Name: "ring_dropped", Help: "push attempts rejected because the ring was full", Unit: "descriptors"},
 		l, func() uint64 { _, _, dropped := r.Counters(); return dropped })
+	reg.Counter(telemetry.Desc{Layer: "mem", Name: "ring_overflow_rejects", Help: "enqueue attempts refused at the producer because the ring was full (countable rejection, not wire loss)", Unit: "descriptors"},
+		l, func() uint64 { return r.OverflowRejects() })
 	reg.Gauge(telemetry.Desc{Layer: "mem", Name: "ring_depth", Help: "descriptors currently in the ring", Unit: "descriptors"},
 		l, func() float64 { return float64(r.Len()) })
+	reg.Gauge(telemetry.Desc{Layer: "mem", Name: "ring_occupancy_frac", Help: "instantaneous ring occupancy as a fraction of capacity", Unit: "fraction"},
+		l, func() float64 { return r.OccupancyFrac() })
 }
 
 // RegisterMetrics exposes a notification queue's counters on a registry.

@@ -342,6 +342,17 @@ func (n *NIC) rxFrame(p *packet.Packet) {
 		n.trace(p, now, "nic", "rx_fifo_drop", "")
 		return
 	}
+	// Priority-aware shedding: under sustained pressure the installed policy
+	// drops low-class ingress here, before the frame can occupy a FIFO slot
+	// or touch the DMA engine — the point is to stop cold descriptors from
+	// thrashing the DDIO ways, so the shed must happen upstream of both.
+	if n.shedPolicy != nil {
+		if c := n.steer(p); c != nil && n.shedPolicy(c, p) {
+			n.RxShed++
+			n.trace(p, now, "nic", "shed", fmt.Sprintf("conn=%d", c.ID))
+			return
+		}
+	}
 	if n.Down(now) {
 		n.RxOutageDrop++
 		if n.SlowPath != nil {

@@ -163,6 +163,13 @@ type NIC struct {
 	schedPump  bool
 	classifier func(*packet.Packet) uint32 // egress class assignment; nil = Meta.Class as-is
 
+	// shedPolicy, when non-nil, is consulted for every steerable ingress
+	// frame before it consumes FIFO or DMA resources; returning true sheds
+	// the frame (counted in RxShed). The overload governor installs a
+	// priority-aware policy here so low-QoS-class ingress is dropped first
+	// under sustained pressure, before it can thrash the DDIO ways.
+	shedPolicy func(c *Conn, p *packet.Packet) bool
+
 	tap *sniff.Tap
 
 	// tracer, when non-nil, receives packet-lifecycle span events from
@@ -198,6 +205,10 @@ type NIC struct {
 	RxSlowPath    uint64
 	RxOutageDrop  uint64
 	RxFifoDrop    uint64
+	// RxShed counts ingress frames dropped by the installed shed policy —
+	// deliberate, priority-aware load shedding, distinct from the
+	// involuntary FIFO/ring drops above.
+	RxShed        uint64
 	TxFrames      uint64
 	TxDropVerdict uint64
 	TxBytes       uint64
@@ -277,6 +288,10 @@ func (n *NIC) OpenConn(id uint64, meta packet.Meta, queue *mem.NotifyQueue) (*Co
 		bufBase:  n.alloc.Take(2*bufBytes, 4096),
 		bufBytes: 2 * bufBytes,
 	}
+	// Default occupancy watermarks at 3/4 and 1/4 of capacity: the overload
+	// watchdog counts rings above high and clears pressure below low.
+	c.TX.SetWatermarks(3*n.ringSize/4, n.ringSize/4)
+	c.RX.SetWatermarks(3*n.ringSize/4, n.ringSize/4)
 	n.conns[id] = c
 	n.sramUsed += need
 	return c, nil
@@ -453,4 +468,32 @@ func (n *NIC) SetRxWindow(depth int) {
 		depth = 1
 	}
 	n.rxWindow = depth
+}
+
+// RxInflight returns the current ingress FIFO occupancy (frames between the
+// wire and DMA completion).
+func (n *NIC) RxInflight() int { return n.rxInflight }
+
+// RingSize returns the per-connection descriptor ring depth.
+func (n *NIC) RingSize() int { return n.ringSize }
+
+// SetShedPolicy installs (or, with nil, removes) the ingress shed policy.
+// The policy runs after steering resolves a destination connection and
+// before the frame consumes FIFO or DMA resources; returning true drops the
+// frame and counts it in RxShed. Nil keeps the hot path a single branch.
+func (n *NIC) SetShedPolicy(f func(c *Conn, p *packet.Packet) bool) { n.shedPolicy = f }
+
+// RxOccupancy aggregates RX-ring pressure across every open connection:
+// total occupied and total capacity in descriptors, plus how many rings sit
+// at or above their high watermark. Sums and counts are order-independent,
+// so iterating the conn map directly stays deterministic.
+func (n *NIC) RxOccupancy() (used, capacity, overHigh int) {
+	for _, c := range n.conns {
+		used += c.RX.Len()
+		capacity += c.RX.Cap()
+		if c.RX.AboveHigh() {
+			overHigh++
+		}
+	}
+	return used, capacity, overHigh
 }

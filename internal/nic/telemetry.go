@@ -18,6 +18,7 @@ func (n *NIC) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
 		{"rx_slow_path", "frames punted to the software slow path", &n.RxSlowPath},
 		{"rx_outage_drop", "frames dropped while the dataplane was faulted down", &n.RxOutageDrop},
 		{"rx_fifo_drop", "frames dropped at the MAC FIFO under DMA backpressure", &n.RxFifoDrop},
+		{"rx_shed", "ingress frames deliberately dropped by the priority-aware shed policy", &n.RxShed},
 		{"tx_frames", "frames transmitted onto the wire", &n.TxFrames},
 		{"tx_drop_verdict", "frames dropped by an egress overlay verdict", &n.TxDropVerdict},
 		{"tx_bytes", "bytes transmitted onto the wire", &n.TxBytes},

@@ -1,0 +1,463 @@
+// Package overload is the resource governor at the NIC/control-plane
+// boundary: it converts resource exhaustion — DDIO ways past the E3 cliff,
+// ingress FIFO saturation, per-tenant connection floods — into typed,
+// observable, prioritized degradation instead of silent collapse.
+//
+// The paper's position (§4.3) is that the kernel must stay on the resource
+// path even when the dataplane bypasses it: admission, backpressure and
+// shedding are exactly the decisions that need a privileged, whole-host view.
+// Four mechanisms compose here:
+//
+//   - Admission control: connection setup consults a budget tracker (ring
+//     memory against the DDIO share, per-tenant connection counts, watchdog
+//     saturation) and rejects with a typed AdmissionError naming the
+//     exhausted resource — the caller knows *why*, not just "no".
+//   - Watermark backpressure: when ring occupancy crosses the high
+//     watermark, subscribed transport senders halve their effective window
+//     until the low watermark clears (hysteresis, no oscillation).
+//   - Priority-aware shedding: under sustained saturation the NIC sheds
+//     ingress for low-QoS classes first, reusing the qos class weights, so
+//     high-priority goodput survives the cliff.
+//   - Watchdog: a virtual-time sampler drives a three-state health machine
+//     (ok/pressured/saturated) with streak-based hysteresis, exported via
+//     metrics, trace spans, and the overload.status ctl op.
+package overload
+
+import (
+	"errors"
+	"fmt"
+
+	"norman/internal/cache"
+	"norman/internal/nic"
+	"norman/internal/packet"
+	"norman/internal/sim"
+	"norman/internal/telemetry"
+)
+
+// ErrAdmission is the sentinel every admission rejection wraps: callers can
+// errors.Is against it without caring which resource ran out.
+var ErrAdmission = errors.New("overload: admission rejected")
+
+// Resource names the budget an admission decision exhausted.
+type Resource string
+
+// The admission-controlled resources.
+const (
+	// ResourceRingDDIO: the aggregate RX descriptor footprint of admitted
+	// connections would exceed the governor's share of the DDIO ways — the
+	// next connection would push the whole host past the E3 cliff.
+	ResourceRingDDIO Resource = "ring_ddio"
+	// ResourceTenantConns: the tenant is at its connection cap.
+	ResourceTenantConns Resource = "tenant_conns"
+	// ResourceIngressFIFO: the watchdog is in the saturated state — the NIC
+	// is already dropping, so new connections are refused until it clears.
+	ResourceIngressFIFO Resource = "ingress_fifo"
+)
+
+// AdmissionError is the typed rejection: which resource, which tenant, and
+// the used/budget pair that failed. It wraps ErrAdmission.
+type AdmissionError struct {
+	Resource Resource
+	Tenant   uint32
+	Used     int
+	Budget   int
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("%v: %s exhausted for tenant %d (%d/%d)",
+		ErrAdmission, e.Resource, e.Tenant, e.Used, e.Budget)
+}
+
+// Unwrap lets errors.Is(err, ErrAdmission) match.
+func (e *AdmissionError) Unwrap() error { return ErrAdmission }
+
+// State is the watchdog's three-level health machine.
+type State int
+
+// The health states, in escalation order.
+const (
+	StateOK        State = iota // resources below watermarks
+	StatePressured              // occupancy past the high watermark
+	StateSaturated              // the NIC is actively dropping
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StatePressured:
+		return "pressured"
+	case StateSaturated:
+		return "saturated"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Config parameterizes a Governor. Zero values pick the defaults noted.
+type Config struct {
+	// DDIOShare is the fraction of the LLC's DDIO capacity that admitted
+	// connections' RX descriptor footprints may claim. 0 = 0.85 (leave
+	// headroom for payload lines and the host's own DMA traffic).
+	DDIOShare float64
+	// MaxConnsPerTenant caps simultaneously open connections per UID.
+	// 0 = unlimited.
+	MaxConnsPerTenant int
+	// HighWatermark is the ring/FIFO occupancy fraction that raises
+	// pressure; 0 = 0.75. LowWatermark is the fraction that must clear
+	// before pressure releases; 0 = 0.25.
+	HighWatermark float64
+	LowWatermark  float64
+	// SampleEvery is the watchdog sampling period in virtual time; 0 = 10µs.
+	SampleEvery sim.Duration
+	// EscalateAfter is how many consecutive hot samples escalate the state
+	// one level (0 = 2); ClearAfter is how many consecutive calm samples
+	// de-escalate it (0 = 3). The asymmetry is the hysteresis: pressure
+	// engages faster than it releases, so the signal cannot oscillate at
+	// the sampling frequency.
+	EscalateAfter int
+	ClearAfter    int
+}
+
+func (c Config) ddioShare() float64 {
+	if c.DDIOShare <= 0 {
+		return 0.85
+	}
+	return c.DDIOShare
+}
+
+func (c Config) highWater() float64 {
+	if c.HighWatermark <= 0 {
+		return 0.75
+	}
+	return c.HighWatermark
+}
+
+func (c Config) lowWater() float64 {
+	if c.LowWatermark <= 0 {
+		return 0.25
+	}
+	return c.LowWatermark
+}
+
+func (c Config) sampleEvery() sim.Duration {
+	if c.SampleEvery <= 0 {
+		return 10 * sim.Microsecond
+	}
+	return c.SampleEvery
+}
+
+func (c Config) escalateAfter() int {
+	if c.EscalateAfter <= 0 {
+		return 2
+	}
+	return c.EscalateAfter
+}
+
+func (c Config) clearAfter() int {
+	if c.ClearAfter <= 0 {
+		return 3
+	}
+	return c.ClearAfter
+}
+
+// Governor is the overload controller for one host: admission budgets, the
+// watchdog state machine, backpressure fan-out and the NIC shed policy all
+// hang off it. It runs entirely in virtual time and keeps plain counters, so
+// it is deterministic and free when idle.
+type Governor struct {
+	eng *sim.Engine
+	nic *nic.NIC
+	cfg Config
+
+	// Admission budgets.
+	tenantConns map[uint32]int
+	ringBytes   int // RX descriptor footprint admitted so far
+	ringBudget  int // ddioShare × LLC DDIOBytes; 0 = unlimited (no cache model)
+
+	// Watchdog.
+	state      State
+	hotStreak  int
+	calmStreak int
+	lastDrops  uint64 // NIC drop counters at the previous sample
+	until      sim.Time
+	watchGen   uint64 // bumps cancel in-flight ticks
+	running    bool
+
+	subs   []func(pressured bool)
+	tracer *telemetry.Tracer
+
+	// Counters (exported via RegisterMetrics).
+	admitted       uint64
+	rejectedDDIO   uint64
+	rejectedTenant uint64
+	rejectedLoad   uint64
+	transitions    uint64
+	signals        uint64
+	shedPkts       uint64
+}
+
+// NewGovernor builds a governor over the NIC. llc supplies the DDIO budget;
+// nil (no cache model) leaves ring admission unlimited.
+func NewGovernor(eng *sim.Engine, n *nic.NIC, llc *cache.LLC, cfg Config) *Governor {
+	g := &Governor{
+		eng:         eng,
+		nic:         n,
+		cfg:         cfg,
+		tenantConns: make(map[uint32]int),
+	}
+	if llc != nil {
+		g.ringBudget = int(cfg.ddioShare() * float64(llc.DDIOBytes()))
+	}
+	return g
+}
+
+// SetTracer attaches a tracer; state transitions then emit "pressure" spans.
+func (g *Governor) SetTracer(t *telemetry.Tracer) { g.tracer = t }
+
+// State returns the watchdog's current health state.
+func (g *Governor) State() State { return g.state }
+
+// Running reports whether the watchdog sampler is active.
+func (g *Governor) Running() bool { return g.running }
+
+// connCost is the RX descriptor footprint one connection pins in the DDIO
+// ways: ringSize descriptor cache lines. This is the quantity whose aggregate
+// crossing the DDIO capacity produces the E3 cliff.
+func (g *Governor) connCost() int {
+	return g.nic.RingSize() * 64
+}
+
+// RingBudget reports the admitted descriptor bytes and the budget
+// (0 budget = unlimited).
+func (g *Governor) RingBudget() (used, budget int) { return g.ringBytes, g.ringBudget }
+
+// AdmitConn runs admission control for one connection owned by tenant. On
+// success the budgets are charged and nil is returned; the caller must pair
+// it with ReleaseConn when the connection closes (or fails to open). On
+// rejection the returned error wraps ErrAdmission and names the exhausted
+// resource; no budget is charged.
+func (g *Governor) AdmitConn(tenant uint32) error {
+	if cap := g.cfg.MaxConnsPerTenant; cap > 0 {
+		if used := g.tenantConns[tenant]; used >= cap {
+			g.rejectedTenant++
+			return &AdmissionError{Resource: ResourceTenantConns, Tenant: tenant, Used: used, Budget: cap}
+		}
+	}
+	if g.state == StateSaturated {
+		g.rejectedLoad++
+		used, capacity, _ := g.nic.RxOccupancy()
+		return &AdmissionError{Resource: ResourceIngressFIFO, Tenant: tenant, Used: used, Budget: capacity}
+	}
+	cost := g.connCost()
+	if g.ringBudget > 0 && g.ringBytes+cost > g.ringBudget {
+		g.rejectedDDIO++
+		return &AdmissionError{Resource: ResourceRingDDIO, Tenant: tenant, Used: g.ringBytes + cost, Budget: g.ringBudget}
+	}
+	g.tenantConns[tenant]++
+	g.ringBytes += cost
+	g.admitted++
+	return nil
+}
+
+// ReleaseConn returns one connection's budget charges.
+func (g *Governor) ReleaseConn(tenant uint32) {
+	if g.tenantConns[tenant] > 0 {
+		g.tenantConns[tenant]--
+		if g.tenantConns[tenant] == 0 {
+			delete(g.tenantConns, tenant)
+		}
+	}
+	if g.ringBytes >= g.connCost() {
+		g.ringBytes -= g.connCost()
+	}
+}
+
+// Subscribe registers a backpressure listener. fn(true) fires when the
+// watchdog leaves the OK state, fn(false) when it returns to OK. Transport
+// streams subscribe their Backpressure method here.
+func (g *Governor) Subscribe(fn func(pressured bool)) {
+	g.subs = append(g.subs, fn)
+}
+
+// InstallShedding installs the priority-aware shed policy on the NIC:
+// while the watchdog is saturated, ingress frames whose class weight is
+// below the heaviest configured weight are dropped before they consume FIFO
+// or DMA resources. classOf maps a packet's owning UID to its QoS class;
+// weights are the qos scheduler's class weights (reused verbatim, so ingress
+// shedding and egress scheduling agree on who matters).
+func (g *Governor) InstallShedding(classOf func(uid uint32) uint32, weights map[uint32]float64) {
+	protect := 0.0
+	for _, w := range weights {
+		if w > protect {
+			protect = w
+		}
+	}
+	g.nic.SetShedPolicy(func(c *nic.Conn, _ *packet.Packet) bool {
+		if g.state != StateSaturated {
+			return false
+		}
+		if weights[classOf(c.Meta.UID)] >= protect {
+			return false
+		}
+		g.shedPkts++
+		return true
+	})
+}
+
+// Start launches the watchdog sampler. until bounds it in virtual time
+// (0 = run until Stop) — experiments pass their horizon so the engine can
+// drain to quiescence afterwards. Idempotent while running.
+func (g *Governor) Start(until sim.Time) {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.until = until
+	g.watchGen++
+	gen := g.watchGen
+	g.eng.After(g.cfg.sampleEvery(), func() { g.tick(gen) })
+}
+
+// Stop halts the watchdog; in-flight ticks become no-ops. The health state
+// is retained.
+func (g *Governor) Stop() {
+	g.running = false
+	g.watchGen++
+}
+
+func (g *Governor) tick(gen uint64) {
+	if gen != g.watchGen {
+		return
+	}
+	now := g.eng.Now()
+	if g.until != 0 && now.After(g.until) {
+		g.running = false
+		return
+	}
+	g.sample(now)
+	g.eng.After(g.cfg.sampleEvery(), func() { g.tick(gen) })
+}
+
+// occupancy returns the aggregate RX ring occupancy fraction, the ingress
+// FIFO fill fraction, and how many rings sit above their high watermark.
+func (g *Governor) occupancy() (occ, fifo float64, overHigh int) {
+	used, capacity, over := g.nic.RxOccupancy()
+	if capacity > 0 {
+		occ = float64(used) / float64(capacity)
+	}
+	if w := g.nic.RxWindow(); w > 0 {
+		fifo = float64(g.nic.RxInflight()) / float64(w)
+	}
+	return occ, fifo, over
+}
+
+// sample takes one watchdog reading and turns it through the hysteresis
+// machine: EscalateAfter consecutive hot samples raise the state one level,
+// ClearAfter consecutive calm samples (below the *low* watermark, with no
+// new drops) lower it one level. Raw readings between the watermarks hold
+// the current state — that dead band is what prevents oscillation.
+func (g *Governor) sample(now sim.Time) {
+	occ, fifo, overHigh := g.occupancy()
+	drops := g.nic.RxFifoDrop + g.nic.RxDropRing
+	delta := drops - g.lastDrops
+	g.lastDrops = drops
+
+	hi, lo := g.cfg.highWater(), g.cfg.lowWater()
+	var raw State
+	switch {
+	case delta > 0:
+		raw = StateSaturated
+	case occ >= hi || fifo >= hi || overHigh > 0:
+		raw = StatePressured
+	default:
+		raw = StateOK
+	}
+
+	switch {
+	case raw > g.state:
+		g.hotStreak++
+		g.calmStreak = 0
+		if g.hotStreak >= g.cfg.escalateAfter() {
+			g.setState(g.state+1, now)
+			g.hotStreak = 0
+		}
+	case raw < g.state && occ <= lo && fifo <= lo && delta == 0:
+		g.calmStreak++
+		g.hotStreak = 0
+		if g.calmStreak >= g.cfg.clearAfter() {
+			g.setState(g.state-1, now)
+			g.calmStreak = 0
+		}
+	default:
+		g.hotStreak = 0
+		g.calmStreak = 0
+	}
+}
+
+// setState commits a transition: count it, emit a trace span, and notify
+// subscribers on the pressure edge (leaving OK / returning to OK).
+func (g *Governor) setState(s State, now sim.Time) {
+	if s == g.state {
+		return
+	}
+	prev := g.state
+	g.state = s
+	g.transitions++
+	if g.tracer != nil {
+		id := g.tracer.StampID()
+		g.tracer.Record(id, now, "overload", "pressure", prev.String()+"->"+s.String())
+	}
+	on, wasOn := s != StateOK, prev != StateOK
+	if on != wasOn {
+		g.signals++
+		for _, fn := range g.subs {
+			fn(on)
+		}
+	}
+}
+
+// Snapshot is the governor's externally visible state, served over the
+// overload.status ctl op and printed by nnetstat -pressure.
+type Snapshot struct {
+	State          string  `json:"state"`
+	Transitions    uint64  `json:"transitions"`
+	Admitted       uint64  `json:"admitted"`
+	RejectedDDIO   uint64  `json:"rejected_ddio"`
+	RejectedTenant uint64  `json:"rejected_tenant"`
+	RejectedLoad   uint64  `json:"rejected_pressure"`
+	RingBytes      int     `json:"ring_bytes"`
+	RingBudget     int     `json:"ring_budget_bytes"`
+	Occupancy      float64 `json:"occupancy_frac"`
+	FifoFrac       float64 `json:"fifo_frac"`
+	ShedPackets    uint64  `json:"shed_packets"`
+	Signals        uint64  `json:"backpressure_signals"`
+	Watching       bool    `json:"watching"`
+}
+
+// Snapshot captures the current state for the control plane.
+func (g *Governor) Snapshot() Snapshot {
+	occ, fifo, _ := g.occupancy()
+	return Snapshot{
+		State:          g.state.String(),
+		Transitions:    g.transitions,
+		Admitted:       g.admitted,
+		RejectedDDIO:   g.rejectedDDIO,
+		RejectedTenant: g.rejectedTenant,
+		RejectedLoad:   g.rejectedLoad,
+		RingBytes:      g.ringBytes,
+		RingBudget:     g.ringBudget,
+		Occupancy:      occ,
+		FifoFrac:       fifo,
+		ShedPackets:    g.shedPkts,
+		Signals:        g.signals,
+		Watching:       g.running,
+	}
+}
+
+// Rejected returns the total typed admission rejections across resources.
+func (g *Governor) Rejected() uint64 {
+	return g.rejectedDDIO + g.rejectedTenant + g.rejectedLoad
+}
+
+// ShedPackets returns frames dropped by the installed shed policy.
+func (g *Governor) ShedPackets() uint64 { return g.shedPkts }

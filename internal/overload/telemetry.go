@@ -1,0 +1,32 @@
+package overload
+
+import "norman/internal/telemetry"
+
+// RegisterMetrics exposes the governor's admission budgets, watchdog state
+// and degradation counters on a registry under the "overload" layer. All
+// reads are lazy closures over plain fields — registration costs the hot
+// path nothing.
+func (g *Governor) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
+	r.Gauge(telemetry.Desc{Layer: "overload", Name: "state", Help: "watchdog health state (0=ok 1=pressured 2=saturated)", Unit: "state"},
+		labels, func() float64 { return float64(g.state) })
+	r.Counter(telemetry.Desc{Layer: "overload", Name: "transitions", Help: "watchdog state transitions", Unit: "transitions"},
+		labels, func() uint64 { return g.transitions })
+	r.Counter(telemetry.Desc{Layer: "overload", Name: "admitted", Help: "connections admitted by the governor", Unit: "conns"},
+		labels, func() uint64 { return g.admitted })
+	r.Counter(telemetry.Desc{Layer: "overload", Name: "rejected_ddio", Help: "admissions rejected because the ring footprint would exceed the DDIO share", Unit: "conns"},
+		labels, func() uint64 { return g.rejectedDDIO })
+	r.Counter(telemetry.Desc{Layer: "overload", Name: "rejected_tenant", Help: "admissions rejected at the per-tenant connection cap", Unit: "conns"},
+		labels, func() uint64 { return g.rejectedTenant })
+	r.Counter(telemetry.Desc{Layer: "overload", Name: "rejected_pressure", Help: "admissions rejected while the watchdog was saturated", Unit: "conns"},
+		labels, func() uint64 { return g.rejectedLoad })
+	r.Counter(telemetry.Desc{Layer: "overload", Name: "shed_packets", Help: "ingress frames shed by the priority-aware policy while saturated", Unit: "frames"},
+		labels, func() uint64 { return g.shedPkts })
+	r.Counter(telemetry.Desc{Layer: "overload", Name: "backpressure_signals", Help: "pressure edges delivered to subscribers (engage + release)", Unit: "signals"},
+		labels, func() uint64 { return g.signals })
+	r.Gauge(telemetry.Desc{Layer: "overload", Name: "ring_bytes", Help: "RX descriptor bytes charged against the DDIO share by admitted connections", Unit: "bytes"},
+		labels, func() float64 { return float64(g.ringBytes) })
+	r.Gauge(telemetry.Desc{Layer: "overload", Name: "ring_budget_bytes", Help: "descriptor-byte budget derived from the DDIO share (0 = unlimited)", Unit: "bytes"},
+		labels, func() float64 { return float64(g.ringBudget) })
+	r.Gauge(telemetry.Desc{Layer: "overload", Name: "occupancy_frac", Help: "aggregate RX ring occupancy fraction at render time", Unit: "fraction"},
+		labels, func() float64 { occ, _, _ := g.occupancy(); return occ })
+}

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"norman/internal/arch"
+	"norman/internal/host"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+// TestTerminalPaths is the typed-terminal-state table: the two ways a stream
+// can end without completing — the path died (ErrAborted, via RTO give-up) or
+// overload control killed it (ErrOverload, via AbortOverload) — must each
+// leave a terminal stream, fire OnAbort exactly once, and carry the right
+// sentinel so callers can errors.Is-dispatch on the cause.
+func TestTerminalPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		trigger  func(w *arch.World, s *Stream) // arranged before/at run time
+		sentinel error
+		other    error // the sentinel this path must NOT match
+	}{
+		{
+			name: "rto-give-up",
+			trigger: func(w *arch.World, s *Stream) {
+				w.Peer = func(*packet.Packet, sim.Time) {} // blackhole
+			},
+			sentinel: ErrAborted,
+			other:    ErrOverload,
+		},
+		{
+			name: "overload-kill",
+			trigger: func(w *arch.World, s *Stream) {
+				w.Eng.At(sim.Time(50*sim.Microsecond), func() {
+					s.AbortOverload("tenant over budget")
+				})
+			},
+			sentinel: ErrOverload,
+			other:    ErrAborted,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := arch.New("kopi", arch.WorldConfig{})
+			w := a.World()
+			resp := NewResponder(a, 5001, 7)
+			w.Peer = resp.Recv
+
+			u := w.Kern.AddUser(1, "u")
+			proc := w.Kern.Spawn(u.UID, "sender")
+			flow := packet.FlowKey{Src: w.HostIP, Dst: w.PeerIP, SrcPort: 4001, DstPort: 5001, Proto: packet.ProtoTCP}
+			conn, err := a.Connect(proc, flow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aborts := 0
+			var abortErr error
+			s := New(a, conn, flow, host.NewMux(a), Config{
+				TotalBytes: 1 << 20,
+				OnAbort:    func(err error, _ sim.Time) { aborts++; abortErr = err },
+				Done:       func(sim.Time) { t.Error("Done must not fire for an aborted stream") },
+			})
+			tc.trigger(w, s)
+			s.Start()
+			w.Eng.RunUntil(sim.Time(10 * sim.Second))
+
+			if !s.Aborted() || s.Done() || !s.Terminal() {
+				t.Fatalf("stream must be terminally aborted: done=%v aborted=%v", s.Done(), s.Aborted())
+			}
+			if aborts != 1 {
+				t.Fatalf("OnAbort fired %d times, want exactly 1", aborts)
+			}
+			if !errors.Is(abortErr, tc.sentinel) || !errors.Is(s.Err(), tc.sentinel) {
+				t.Fatalf("terminal error = %v / %v, want %v", abortErr, s.Err(), tc.sentinel)
+			}
+			if errors.Is(s.Err(), tc.other) {
+				t.Fatalf("terminal error %v must not also match %v", s.Err(), tc.other)
+			}
+			if !s.Stats.Aborted {
+				t.Fatalf("stats must record the abort: %+v", s.Stats)
+			}
+		})
+	}
+}
+
+// TestAbortOverloadIdempotent: a second kill (or a kill racing a completed
+// stream) must be a no-op — one OnAbort, the first error wins.
+func TestAbortOverloadIdempotent(t *testing.T) {
+	a := arch.New("kopi", arch.WorldConfig{})
+	w := a.World()
+	w.Peer = func(*packet.Packet, sim.Time) {}
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "sender")
+	flow := packet.FlowKey{Src: w.HostIP, Dst: w.PeerIP, SrcPort: 4003, DstPort: 5001, Proto: packet.ProtoTCP}
+	conn, err := a.Connect(proc, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aborts := 0
+	s := New(a, conn, flow, host.NewMux(a), Config{
+		TotalBytes: 1 << 20,
+		OnAbort:    func(error, sim.Time) { aborts++ },
+	})
+	s.Start()
+	s.AbortOverload("first")
+	s.AbortOverload("second")
+	w.Eng.Run()
+	if aborts != 1 {
+		t.Fatalf("OnAbort fired %d times", aborts)
+	}
+	if !errors.Is(s.Err(), ErrOverload) || s.Err().Error() != "transport: stream shed by overload control: first" {
+		t.Fatalf("first kill must win: %v", s.Err())
+	}
+}
+
+// TestBackpressureHalvesWindow pins the window arithmetic: each on-signal
+// halves the effective in-flight limit (cumulative, capped, floored at one
+// MSS), the off-signal restores it in one step, and Stats.Shed counts every
+// applied halving.
+func TestBackpressureHalvesWindow(t *testing.T) {
+	a := arch.New("kopi", arch.WorldConfig{})
+	w := a.World()
+	resp := NewResponder(a, 5001, 7)
+	w.Peer = resp.Recv
+
+	u := w.Kern.AddUser(1, "u")
+	proc := w.Kern.Spawn(u.UID, "sender")
+	flow := packet.FlowKey{Src: w.HostIP, Dst: w.PeerIP, SrcPort: 4002, DstPort: 5001, Proto: packet.ProtoTCP}
+	conn, err := a.Connect(proc, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 64 << 10
+	s := New(a, conn, flow, host.NewMux(a), Config{TotalBytes: 1 << 20, Window: window})
+	s.cwnd = float64(window) // pin cwnd so the receiver window is the binding clamp
+
+	base := s.inFlightLimit()
+	if base != window {
+		t.Fatalf("baseline window = %d, want %d", base, window)
+	}
+	s.Backpressure(true)
+	if got := s.inFlightLimit(); got != window/2 {
+		t.Fatalf("after one signal window = %d, want %d", got, window/2)
+	}
+	s.Backpressure(true)
+	if got := s.inFlightLimit(); got != window/4 {
+		t.Fatalf("after two signals window = %d, want %d", got, window/4)
+	}
+	if s.Stats.Shed != 2 {
+		t.Fatalf("Shed = %d, want 2", s.Stats.Shed)
+	}
+	// Pile on: the shift caps, and the floor holds at one MSS.
+	for i := 0; i < 20; i++ {
+		s.Backpressure(true)
+	}
+	if got := s.inFlightLimit(); got != MSS {
+		t.Fatalf("deep pressure window = %d, want the one-MSS floor (shift caps, floor holds)", got)
+	}
+	// Release: one off-signal clears every halving (no slow unwinding) and
+	// does not count as a shed.
+	shed := s.Stats.Shed
+	s.Backpressure(false)
+	if got := s.inFlightLimit(); got != window {
+		t.Fatalf("after release window = %d, want %d", got, window)
+	}
+	if s.Stats.Shed != shed {
+		t.Fatalf("release must not count as a shed: %d -> %d", shed, s.Stats.Shed)
+	}
+	// And the squeezed transfer still completes once released.
+	s.Start()
+	w.Eng.RunUntil(sim.Time(10 * sim.Second))
+	if !s.Done() || resp.Received != 1<<20 {
+		t.Fatalf("transfer incomplete after pressure cycle: done=%v got=%d", s.Done(), resp.Received)
+	}
+}

@@ -33,6 +33,12 @@ const DefaultMaxRetries = 12
 // budget exhausted or deadline passed) rather than completing.
 var ErrAborted = errors.New("transport: stream aborted")
 
+// ErrOverload is the terminal error of a stream terminated by overload
+// control (admission revoked, sustained shedding) — a typed policy decision,
+// distinct from the ErrAborted RTO give-up, so callers can tell "the path
+// died" apart from "the system refused the load".
+var ErrOverload = errors.New("transport: stream shed by overload control")
+
 // Config parameterizes a stream.
 type Config struct {
 	TotalBytes uint32       // how much to transfer
@@ -72,6 +78,10 @@ type Stats struct {
 	// Aborted records that the stream gave up (MaxRetries or Deadline)
 	// instead of completing; Finished then holds the abort time.
 	Aborted bool
+	// Shed counts pressure-induced window halvings: each Backpressure(true)
+	// notification from the overload governor halves the effective window
+	// once and increments this.
+	Shed uint64
 }
 
 // Goodput returns achieved application throughput in Gbit/s.
@@ -111,6 +121,11 @@ type Stream struct {
 	rtoUna    uint32
 	aborted   bool
 	err       error
+
+	// pressureShift is the number of outstanding backpressure halvings: the
+	// effective window is right-shifted by it (floored at one MSS) until the
+	// governor clears the low watermark and calls Backpressure(false).
+	pressureShift uint
 
 	Stats Stats
 }
@@ -210,10 +225,40 @@ func (s *Stream) inFlightLimit() uint32 {
 	if win > s.cfg.Window {
 		win = s.cfg.Window
 	}
+	win >>= s.pressureShift
 	if win < MSS {
 		win = MSS
 	}
 	return win
+}
+
+// Backpressure is the overload governor's pressure signal. on=true halves the
+// effective window (cumulative across signals, floored at one MSS) and counts
+// a Stats.Shed; on=false clears all halvings at once and immediately tries to
+// refill the restored window. Hysteresis lives in the governor — the stream
+// just obeys, so signal edges map 1:1 to window changes.
+func (s *Stream) Backpressure(on bool) {
+	if s.done || s.aborted {
+		return
+	}
+	if on {
+		if s.pressureShift < 6 {
+			s.pressureShift++
+		}
+		s.Stats.Shed++
+		return
+	}
+	if s.pressureShift != 0 {
+		s.pressureShift = 0
+		s.trySend()
+	}
+}
+
+// AbortOverload terminates the stream with ErrOverload: the overload governor
+// (not the path) decided this stream must stop. OnAbort fires once with the
+// wrapped reason; Done never fires.
+func (s *Stream) AbortOverload(reason string) {
+	s.abort(fmt.Errorf("%w: %s", ErrOverload, reason))
 }
 
 // trySend transmits as much new data as the window allows.

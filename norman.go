@@ -33,6 +33,7 @@ import (
 	"norman/internal/arch"
 	"norman/internal/host"
 	"norman/internal/kernel"
+	"norman/internal/overload"
 	"norman/internal/packet"
 	"norman/internal/recovery"
 	"norman/internal/sim"
@@ -134,6 +135,7 @@ type System struct {
 	rules []installedRule
 	reg   *telemetry.Registry
 	rec   *recovery.Manager
+	gov   *overload.Governor
 }
 
 // installedRule remembers admin rule state for IPTablesList.
@@ -178,8 +180,21 @@ func (s *System) Spawn(u *User, command string) *Process {
 func (s *System) Now() Duration { return sim.Duration(s.w.Eng.Now()) }
 
 // Run executes queued events until the simulation drains and returns the
-// final virtual time.
-func (s *System) Run() Duration { return sim.Duration(s.w.Eng.Run()) }
+// final virtual time. A running overload watchdog is paused for the drain
+// (its self-rescheduling timer would otherwise keep the engine busy forever)
+// and resumed afterwards; use RunFor for bounded stepping with the watchdog
+// live.
+func (s *System) Run() Duration {
+	resume := s.gov != nil && s.gov.Running()
+	if resume {
+		s.gov.Stop()
+	}
+	t := sim.Duration(s.w.Eng.Run())
+	if resume {
+		s.gov.Start(0)
+	}
+	return t
+}
 
 // RunFor executes events up to d of virtual time.
 func (s *System) RunFor(d Duration) Duration {
@@ -238,6 +253,10 @@ func (s *System) EnableTelemetry() *telemetry.Registry {
 		if s.rec != nil {
 			s.rec.SetTracer(s.w.Tracer)
 			s.rec.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
+		}
+		if s.gov != nil {
+			s.gov.SetTracer(s.w.Tracer)
+			s.gov.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
 		}
 	}
 	return s.reg

@@ -9,6 +9,7 @@ import (
 	"norman/internal/ctl"
 	"norman/internal/faults"
 	"norman/internal/mem"
+	"norman/internal/overload"
 	"norman/internal/qos"
 	"norman/internal/sniff"
 	"norman/internal/telemetry"
@@ -45,7 +46,8 @@ func TestObservabilityDocMatchesRegistry(t *testing.T) {
 func populateFullRegistry(t *testing.T) *telemetry.Registry {
 	t.Helper()
 	sys := norman.New(norman.KOPI)
-	sys.EnableRecovery() // before EnableTelemetry so recovery.* metrics register
+	sys.EnableRecovery()                  // before EnableTelemetry so recovery.* metrics register
+	sys.EnableOverload(overload.Config{}) // likewise for overload.* metrics
 	reg := sys.EnableTelemetry()
 	w := sys.World()
 

@@ -1,0 +1,37 @@
+package norman
+
+import (
+	"norman/internal/overload"
+	"norman/internal/telemetry"
+)
+
+// ErrAdmission re-exports the typed admission-rejection sentinel so API
+// users can errors.Is against the public package.
+var ErrAdmission = overload.ErrAdmission
+
+// EnableOverload attaches the overload governor: Dial admission consults its
+// budgets (DDIO ring share, per-tenant connection caps, watchdog
+// saturation), TCSet additionally installs the priority-aware ingress shed
+// policy, and the watchdog — once started with Overload().Start — drives
+// watermark backpressure to subscribed transport streams. Idempotent;
+// returns the governor either way.
+//
+// The watchdog samples on a virtual-time timer, so it keeps the engine
+// non-quiescent: Run pauses it for the drain and resumes it after, while
+// bounded stepping (RunFor, the ctl server, experiment horizons) runs it
+// live.
+func (s *System) EnableOverload(cfg overload.Config) *overload.Governor {
+	if s.gov == nil {
+		s.gov = overload.NewGovernor(s.w.Eng, s.w.NIC, s.w.LLC, cfg)
+		if s.w.Tracer != nil {
+			s.gov.SetTracer(s.w.Tracer)
+		}
+		if s.reg != nil {
+			s.gov.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
+		}
+	}
+	return s.gov
+}
+
+// Overload returns the overload governor, nil before EnableOverload.
+func (s *System) Overload() *overload.Governor { return s.gov }

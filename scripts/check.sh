@@ -48,6 +48,11 @@ NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E9|Fault|Trap|
 # E10 table (crash, journal replay, reconciliation) must also be
 # byte-identical sequentially and at any pool width.
 NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E10|Recovery|Journal|Reconcile' ./internal/experiments/... ./internal/recovery/... ./internal/ctl/...
+# Overload-governor determinism under race at the same non-default seed: the
+# E11 table (admission, backpressure, shedding past the DDIO cliff) and the
+# cross-subsystem chaos soak must be byte-identical sequentially and at any
+# pool width.
+NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E11|Overload|Watchdog|Watermark|Chaos' ./internal/experiments/... ./internal/overload/... ./internal/transport/... ./internal/mem/... .
 
 # pcap round-trip smoke: boot a real daemon, capture through the control
 # socket, and validate the exported file carries the classic little-endian
@@ -138,5 +143,11 @@ grep -q "invariants ok" "$tmp/rec2.status"
 "$tmp/niptables" -socket "$tmp/rec.sock" -L >"$tmp/rec2.rules"
 grep -q 9999 "$tmp/rec2.rules"
 grep -q 8888 "$tmp/rec2.rules"
+
+# Overload smoke: the live daemon runs the overload governor, so -pressure
+# must print the watchdog health state and exit 0.
+"$tmp/nnetstat" -socket "$tmp/rec.sock" -pressure | tee "$tmp/pressure.out"
+grep -q "watchdog: ok" "$tmp/pressure.out"
+grep -q "admission:" "$tmp/pressure.out"
 kill "$daemon_pid"
 echo "check.sh: all gates passed"
