@@ -16,6 +16,8 @@ import (
 	"testing"
 
 	"norman/internal/experiments"
+	"norman/internal/mem"
+	"norman/internal/sim"
 )
 
 // benchScale is the configuration benches run at; 1.0 is the full
@@ -118,5 +120,66 @@ func BenchmarkE11Overload(b *testing.B) {
 		if i == 0 {
 			fmt.Printf("\n%s\n", tbl)
 		}
+	}
+}
+
+func BenchmarkE12ShardedScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE12(benchScale, 8)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl)
+		}
+	}
+}
+
+// TestEngineHotPathZeroAllocs guards the engine dispatch loop against
+// allocation regressions: a warmed heap must schedule and fire events
+// without touching the allocator.
+func TestEngineHotPathZeroAllocs(t *testing.T) {
+	eng := sim.NewEngine()
+	// Warm the event heap once; steady-state dispatch reuses its capacity.
+	for i := 0; i < 64; i++ {
+		eng.At(sim.Time(i), func() {})
+	}
+	eng.Run()
+	fn := func() {}
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			eng.After(sim.Nanosecond, fn)
+		}
+		eng.Run()
+	}); n != 0 {
+		t.Fatalf("engine hot path allocates %.1f/op", n)
+	}
+}
+
+// TestBatchedDrainZeroAllocs guards the sharded scale path's per-burst
+// loop — ring pop, flyweight slab updates, ring refill, batched fired
+// credit — at zero allocations.
+func TestBatchedDrainZeroAllocs(t *testing.T) {
+	eng := sim.NewEngine()
+	ring := mem.NewBurstRing(512, 0)
+	slab := mem.NewConnSlab(256, 0)
+	scratch := make([]mem.PktRef, 256)
+	for i := 0; i < 256; i++ {
+		ring.Push(mem.PktRef{Conn: uint32(i), Len: 300})
+	}
+	drain := func() {
+		m := ring.PopBurst(scratch)
+		for i := range scratch[:m] {
+			d := &scratch[i]
+			slab.RxPkts[d.Conn]++
+			slab.RxBytes[d.Conn] += uint64(d.Len)
+		}
+		ring.PushBurst(scratch[:m])
+		eng.AddFired(m - 1)
+	}
+	eng.At(0, drain)
+	eng.Run()
+	if n := testing.AllocsPerRun(100, func() {
+		eng.After(sim.Nanosecond, drain)
+		eng.Run()
+	}); n != 0 {
+		t.Fatalf("batched ring drain allocates %.1f/op", n)
 	}
 }

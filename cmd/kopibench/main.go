@@ -1,4 +1,4 @@
-// Command kopibench regenerates the paper-reproduction experiments (E1–E11
+// Command kopibench regenerates the paper-reproduction experiments (E1–E12
 // in DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -8,6 +8,7 @@
 //	kopibench -workers 4       # explicit worker count (implies -parallel)
 //	kopibench -e E3            # run one experiment
 //	kopibench -scale 0.3       # compress durations/sweeps for a quick pass
+//	kopibench -shards 8        # engine shards for E12 (table is shard-invariant)
 //	kopibench -json            # also write BENCH_E*.json + BENCH_ENGINE.json
 //	kopibench -outdir results  # where -json baselines land (default .)
 //	kopibench -list            # list experiments
@@ -36,6 +37,7 @@ import (
 	"runtime/pprof"
 
 	"norman/internal/experiments"
+	"norman/internal/mem"
 	"norman/internal/sim"
 	"norman/internal/stats"
 )
@@ -68,7 +70,13 @@ var registry = map[string]struct {
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE10(s); return t }},
 	"E11": {"overload control across the DDIO cliff: admission, backpressure, priority shedding",
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE11(s); return t }},
+	"E12": {"sharded within-world engine: 10k-1M connections, shard-count-invariant tables",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE12(s, e12Shards); return t }},
 }
+
+// e12Shards is the -shards flag: how many engine shards E12 spreads its RSS
+// buckets over. The experiment's results are byte-identical at any value.
+var e12Shards = 1
 
 // e9Telemetry is the observability sink E9 fills when -metrics-out is set
 // (nil otherwise, which keeps the plain benchmark path allocation-free).
@@ -93,10 +101,19 @@ type engineRecord struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
+
+	// Sharded batched ring-drain baseline: aggregate dataplane events/s
+	// when 8 lockstep shards each drain descriptor bursts instead of firing
+	// one heap event per packet. Speedup is against events_per_sec above.
+	ShardedShards       int     `json:"sharded_shards"`
+	ShardedBatch        int     `json:"sharded_batch"`
+	ShardedNsPerEvent   float64 `json:"sharded_ns_per_event"`
+	ShardedEventsPerSec float64 `json:"sharded_events_per_sec"`
+	ShardedSpeedup      float64 `json:"sharded_speedup"`
 }
 
 func main() {
-	exp := flag.String("e", "", "experiment id (E1..E11); empty = all")
+	exp := flag.String("e", "", "experiment id (E1..E12); empty = all")
 	scale := flag.Float64("scale", 1.0, "duration/sweep scale factor (1.0 = full)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Bool("parallel", false, "fan each experiment's independent worlds across all cores")
@@ -105,7 +122,9 @@ func main() {
 	outdir := flag.String("outdir", ".", "directory -json baselines are written to")
 	metricsOut := flag.String("metrics-out", "", "write the E9 run's telemetry registry (Prometheus text) to this file")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the experiment runs to this file")
+	shards := flag.Int("shards", 1, "engine shards for E12 (results are invariant across shard counts)")
 	flag.Parse()
+	e12Shards = *shards
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -211,8 +230,67 @@ func main() {
 		rec := engineBaseline()
 		fmt.Printf("--- %.1f ns/event, %.1f Mevents/s, %d allocs/op\n",
 			rec.NsPerEvent, rec.EventsPerSec/1e6, rec.AllocsPerOp)
+		fmt.Printf("=== engine: sharded batched ring-drain microbenchmark (%d shards, batch %d)\n",
+			shardedBenchShards, shardedBenchBatch)
+		rec.ShardedShards = shardedBenchShards
+		rec.ShardedBatch = shardedBenchBatch
+		rec.ShardedNsPerEvent = shardedBaseline()
+		rec.ShardedEventsPerSec = 1e9 / rec.ShardedNsPerEvent
+		rec.ShardedSpeedup = rec.ShardedEventsPerSec / rec.EventsPerSec
+		fmt.Printf("--- %.1f ns/event, %.1f Mevents/s aggregate, %.1fx single-loop dispatch\n",
+			rec.ShardedNsPerEvent, rec.ShardedEventsPerSec/1e6, rec.ShardedSpeedup)
 		writeJSON(filepath.Join(*outdir, "BENCH_ENGINE.json"), rec)
 	}
+}
+
+// Sharded batched-drain baseline geometry: 8 lockstep shards, each draining
+// 256-descriptor bursts from its own ring into flyweight records (a 4 KB
+// scratch stays L1-resident; larger bursts spill and run slower).
+const (
+	shardedBenchShards = 8
+	shardedBenchBatch  = 256
+)
+
+// shardedBaseline measures the aggregate dataplane event rate of the
+// sharded engine's batched path: every shard runs a self-sustaining drain
+// loop — pop a burst, update the flyweight slab per descriptor, recycle the
+// burst — with the engine's fired counter credited per descriptor
+// (sim.Engine.AddFired), the same accounting the QueueGroup receive path
+// uses. Returns wall nanoseconds per dataplane event.
+func shardedBaseline() float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		quota := b.N/shardedBenchShards + 1
+		s := sim.NewSharded(shardedBenchShards, shardedBenchShards, 2*sim.Microsecond)
+		for sh := 0; sh < shardedBenchShards; sh++ {
+			eng := s.Engine(sh)
+			ring := mem.NewBurstRing(8*shardedBenchBatch, 0)
+			slab := mem.NewConnSlab(1024, 0)
+			scratch := make([]mem.PktRef, shardedBenchBatch)
+			for i := 0; i < shardedBenchBatch; i++ {
+				ring.Push(mem.PktRef{Conn: uint32(i % 1024), Len: 300})
+			}
+			done := 0
+			var drain func()
+			drain = func() {
+				m := ring.PopBurst(scratch)
+				for i := range scratch[:m] {
+					d := &scratch[i]
+					slab.RxPkts[d.Conn]++
+					slab.RxBytes[d.Conn] += uint64(d.Len)
+				}
+				ring.PushBurst(scratch[:m])
+				eng.AddFired(m - 1)
+				done += m
+				if done < quota {
+					eng.After(100*sim.Nanosecond, drain)
+				}
+			}
+			eng.At(0, drain)
+		}
+		s.Run()
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N)
 }
 
 // engineBaseline measures raw event dispatch in-process (the same loop as

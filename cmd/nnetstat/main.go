@@ -7,7 +7,9 @@
 // control-plane up/down state, and the last reconciliation (diff clean or
 // not, invariants, repairs). With -pressure it reports the overload
 // governor: watchdog health state, admission budgets and rejections, and
-// shed/backpressure accounting.
+// shed/backpressure accounting. With -shards it reports the engine shard
+// coordinator: per-shard event counts, mailbox traffic and depths, and
+// barrier epoch/stall accounting.
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "with -metrics: render JSON instead of Prometheus text")
 	recoveryFlag := flag.Bool("recovery", false, "show the daemon's crash-recovery status (journal, last reconciliation)")
 	pressure := flag.Bool("pressure", false, "show the daemon's overload-governor status (watchdog state, admission, shedding)")
+	shardsFlag := flag.Bool("shards", false, "show the daemon's engine shard coordinator (per-shard events, mailboxes, barrier stalls)")
 	flag.Parse()
 
 	c, err := ctl.Dial(*socket)
@@ -57,6 +60,26 @@ func main() {
 			data.RingBytes, budget, data.Occupancy, data.FifoFrac)
 		fmt.Printf("degradation: %d packets shed, %d backpressure signals\n",
 			data.ShedPackets, data.Signals)
+		return
+	}
+
+	if *shardsFlag {
+		var data ctl.ShardsData
+		if err := c.Call(ctl.OpShards, nil, &data); err != nil {
+			fatal(err)
+		}
+		if !data.Sharded {
+			fmt.Println("engine: unsharded (1 engine)")
+		} else {
+			fmt.Printf("engine: %d shards over %d buckets, epoch %s\n",
+				data.Shards, data.Buckets, data.Epoch)
+			fmt.Printf("barrier: %d epochs, %d mailbox events delivered\n",
+				data.Epochs, data.Delivered)
+		}
+		for _, r := range data.Rows {
+			fmt.Printf("  shard %d: %d events, mail %d sent / %d recv / %d pending, %d stalls\n",
+				r.Shard, r.Events, r.MailSent, r.MailRecv, r.Pending, r.Stalls)
+		}
 		return
 	}
 

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	normand [-arch kopi|kernelstack|bypass|sidecar|hypervisor]
-//	        [-socket /tmp/normand.sock] [-flood]
+//	        [-socket /tmp/normand.sock] [-flood] [-shards N]
 package main
 
 import (
@@ -33,9 +33,10 @@ func main() {
 	socket := flag.String("socket", ctl.DefaultSocket, "control socket path")
 	flood := flag.Bool("flood", false, "include the buggy ARP-flooding daemon (the §2 debugging scenario)")
 	journalPath := flag.String("journal", "", "persist the control-plane intent journal to this file; an existing journal is replayed on start (SIGKILL recovery)")
+	shards := flag.Int("shards", 1, "engine shards for the world (>1 runs the lockstep barrier coordinator; inspect with nnetstat -shards)")
 	flag.Parse()
 
-	sys := norman.New(norman.Architecture(*archName))
+	sys := norman.New(norman.Architecture(*archName), norman.WithShards(*shards))
 	// Recovery before anything mutates: every dial and policy below lands
 	// in the intent journal, so a SIGKILL'd daemon restarted with the same
 	// -journal reconciles instead of starting blind.

@@ -1,0 +1,236 @@
+package arch
+
+import (
+	"fmt"
+
+	"norman/internal/cache"
+	"norman/internal/mem"
+	"norman/internal/nic"
+	"norman/internal/packet"
+	"norman/internal/sim"
+	"norman/internal/timing"
+)
+
+// ShardedWorld is the scale path of the within-world engine (DESIGN.md §8):
+// a fixed set of RSS buckets, each with its own burst ring and batched
+// receive path, spread over N lockstep engine shards by bucket % N. The
+// bucket space — not the shard count — is the determinism unit: connection →
+// bucket mapping uses the NIC's Toeplitz hash over the flow key modulo a
+// constant bucket count, so per-bucket state and any bucket-ordered
+// aggregation are byte-identical at every shard count, including N=1.
+//
+// Connection records live in one flyweight slab (mem.ConnSlab, ≤ 64 hot
+// bytes per connection); a record is only ever touched from its owning
+// bucket's shard, so shards share no mutable state outside the coordinator's
+// mailboxes.
+type ShardedWorld struct {
+	Coord *sim.Sharded
+	Model timing.Model
+	Slab  *mem.ConnSlab
+
+	// Buckets, in fixed bucket order. Bucket b runs on Coord.EngineFor(b).
+	Buckets []*ScaleBucket
+
+	// Deliver, when set, is called for every descriptor a bucket's queue
+	// group completes — on that bucket's shard, at DMA completion time. The
+	// experiment points it at the flyweight transport and issues any
+	// cross-shard replies through Coord.Send.
+	Deliver func(bucket int, d mem.PktRef, at sim.Time)
+
+	connBucket []uint16
+}
+
+// ScaleBucket is one RSS bucket's slice of the machine: a private engine
+// reference (shared with the other buckets on the same shard), a descriptor
+// ring, a batched receive path, and a private LLC slice so cache state never
+// crosses shards.
+type ScaleBucket struct {
+	Index int
+	Eng   *sim.Engine
+	Ring  *mem.BurstRing
+	QG    *nic.QueueGroup
+	LLC   *cache.LLC
+
+	conns []uint32 // connections hashed here, in connID order
+}
+
+// ShardedConfig parameterizes NewShardedWorld; zero values take defaults.
+type ShardedConfig struct {
+	Shards   int          // engine shards (≥ 1)
+	Buckets  int          // fixed RSS bucket count (default 64); must be ≥ Shards
+	Conns    int          // connection slab capacity (default 1024)
+	Model    timing.Model // zero value takes timing.Default
+	RingSize int          // per-bucket burst ring capacity (default 1024)
+	Batch    int          // descriptors per drain burst (default 64)
+	Epoch    sim.Duration // barrier epoch (default Model.WireLatency)
+	NoLLC    bool         // disable per-bucket descriptor cache modeling
+}
+
+// Simulated address map of the scale path: the slab above 4 GiB, bucket
+// rings spaced at fixed strides above 1 GiB. Static — no allocator churn.
+const (
+	shardedSlabBase   = uint64(1) << 32
+	shardedRingBase   = uint64(1) << 30
+	shardedRingStride = uint64(1) << 20
+)
+
+// NewShardedWorld builds the bucketed scale world and opens cfg.Conns
+// flyweight connections, each hashed to its bucket by the NIC's RSS
+// function over a deterministic per-connection flow key.
+func NewShardedWorld(cfg ShardedConfig) *ShardedWorld {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 64
+	}
+	if cfg.Buckets < cfg.Shards {
+		panic(fmt.Sprintf("arch: %d buckets < %d shards", cfg.Buckets, cfg.Shards))
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1024
+	}
+	if cfg.Model.CPUHz == 0 {
+		cfg.Model = timing.Default()
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = cfg.Model.WireLatency
+	}
+
+	sw := &ShardedWorld{
+		Coord:      sim.NewSharded(cfg.Shards, cfg.Buckets, cfg.Epoch),
+		Model:      cfg.Model,
+		Slab:       mem.NewConnSlab(cfg.Conns, shardedSlabBase),
+		Buckets:    make([]*ScaleBucket, cfg.Buckets),
+		connBucket: make([]uint16, cfg.Conns),
+	}
+
+	// Per-bucket LLC slice: an equal share of the model's cache, rounded to
+	// whole sets, so DDIO behaviour is per-bucket and shard-private.
+	llcSlice := cfg.Model.LLCBytes / cfg.Buckets
+	if min := cfg.Model.LLCWays * 64; llcSlice < min {
+		llcSlice = min
+	}
+	for b := range sw.Buckets {
+		var llc *cache.LLC
+		if !cfg.NoLLC {
+			llc = cache.New(cache.Config{
+				TotalBytes: llcSlice,
+				Ways:       cfg.Model.LLCWays,
+				DDIOWays:   cfg.Model.DDIOWays,
+				LineBytes:  64,
+			})
+		}
+		ring := mem.NewBurstRing(cfg.RingSize, shardedRingBase+uint64(b)*shardedRingStride)
+		bk := &ScaleBucket{
+			Index: b,
+			Eng:   sw.Coord.EngineFor(b),
+			Ring:  ring,
+			LLC:   llc,
+		}
+		bk.QG = nic.NewQueueGroup(nic.QueueGroupConfig{
+			Engine: bk.Eng,
+			Model:  cfg.Model,
+			LLC:    llc,
+			Ring:   ring,
+			Slab:   sw.Slab,
+			Batch:  cfg.Batch,
+		})
+		idx := b
+		bk.QG.Deliver = func(d mem.PktRef, at sim.Time) {
+			if sw.Deliver != nil {
+				sw.Deliver(idx, d, at)
+			}
+		}
+		sw.Buckets[b] = bk
+	}
+
+	for c := 0; c < cfg.Conns; c++ {
+		b := uint16(nic.RSSHash(nic.DefaultRSSKey, connFlow(c)) % uint32(cfg.Buckets))
+		sw.connBucket[c] = b
+		sw.Slab.Open(c, b)
+		sw.Buckets[b].conns = append(sw.Buckets[b].conns, uint32(c))
+	}
+	return sw
+}
+
+// connFlow derives the deterministic flow key connection c arrives on.
+func connFlow(c int) packet.FlowKey {
+	return packet.FlowKey{
+		Src:     packet.MakeIP(10, 0, uint8(c>>16), uint8(c>>8)),
+		Dst:     packet.MakeIP(10, 0, 0, 1),
+		SrcPort: uint16(1024 + c%60000),
+		DstPort: 9000,
+		Proto:   packet.ProtoUDP,
+	}
+}
+
+// BucketOf returns the RSS bucket a connection hashes to.
+func (sw *ShardedWorld) BucketOf(conn int) int { return int(sw.connBucket[conn]) }
+
+// Conns returns bucket b's connections in connID order. Callers must not
+// mutate the slice.
+func (sw *ShardedWorld) Conns(b int) []uint32 { return sw.Buckets[b].conns }
+
+// Aggregations below iterate buckets in index order over integer counters,
+// so every result is invariant under the shard count.
+
+// Delivered returns descriptors delivered across all buckets.
+func (sw *ShardedWorld) Delivered() uint64 {
+	var n uint64
+	for _, b := range sw.Buckets {
+		n += b.QG.Delivered()
+	}
+	return n
+}
+
+// BytesDelivered returns payload bytes delivered across all buckets.
+func (sw *ShardedWorld) BytesDelivered() uint64 {
+	var n uint64
+	for _, b := range sw.Buckets {
+		n += b.QG.BytesDelivered()
+	}
+	return n
+}
+
+// Drops returns ring-full rejects across all buckets.
+func (sw *ShardedWorld) Drops() uint64 {
+	var n uint64
+	for _, b := range sw.Buckets {
+		n += b.QG.DropRingFull()
+	}
+	return n
+}
+
+// Bursts returns drain events fired across all buckets.
+func (sw *ShardedWorld) Bursts() uint64 {
+	var n uint64
+	for _, b := range sw.Buckets {
+		n += b.QG.Bursts()
+	}
+	return n
+}
+
+// DescAccesses returns descriptor-line DDIO hits and misses across buckets.
+func (sw *ShardedWorld) DescAccesses() (hit, miss uint64) {
+	for _, b := range sw.Buckets {
+		hit += b.QG.DescHit()
+		miss += b.QG.DescMiss()
+	}
+	return hit, miss
+}
+
+// BurstWaitTotal returns cumulative burst arrival-to-completion latency.
+func (sw *ShardedWorld) BurstWaitTotal() sim.Duration {
+	var d sim.Duration
+	for _, b := range sw.Buckets {
+		d += b.QG.WaitTotal()
+	}
+	return d
+}

@@ -44,6 +44,7 @@ const (
 	OpTrace         = "trace.get"
 	OpRecovery      = "recovery.status"
 	OpOverload      = "overload.status"
+	OpShards        = "engine.shards"
 )
 
 // IdempotentOp reports whether op is a read-only query the client may
@@ -53,7 +54,8 @@ const (
 func IdempotentOp(op string) bool {
 	switch op {
 	case OpStatus, OpIPTablesList, OpTCShow, OpDumpFetch, OpDumpPcap,
-		OpNetstat, OpARP, OpTelemetry, OpTrace, OpRecovery, OpOverload:
+		OpNetstat, OpARP, OpTelemetry, OpTrace, OpRecovery, OpOverload,
+		OpShards:
 		return true
 	}
 	return false
@@ -224,6 +226,30 @@ type OverloadData struct {
 	FifoFrac       float64 `json:"fifo_frac,omitempty"`
 	ShedPackets    uint64  `json:"shed_packets,omitempty"`
 	Signals        uint64  `json:"backpressure_signals,omitempty"`
+}
+
+// ShardsData is the engine shard coordinator's snapshot (engine.shards).
+// Sharded reports whether the daemon's world runs under a coordinator; an
+// unsharded daemon still answers with one synthetic row for its single
+// engine so tooling never needs two code paths.
+type ShardsData struct {
+	Sharded   bool       `json:"sharded"`
+	Shards    int        `json:"shards"`
+	Buckets   int        `json:"buckets,omitempty"`
+	Epoch     string     `json:"epoch,omitempty"`
+	Epochs    uint64     `json:"epochs,omitempty"`
+	Delivered uint64     `json:"mailbox_delivered,omitempty"`
+	Rows      []ShardRow `json:"rows,omitempty"`
+}
+
+// ShardRow is one shard's counters within ShardsData.
+type ShardRow struct {
+	Shard    int    `json:"shard"`
+	Events   uint64 `json:"events"`
+	MailSent uint64 `json:"mail_sent"`
+	MailRecv uint64 `json:"mail_recv"`
+	Pending  int    `json:"mail_pending"`
+	Stalls   uint64 `json:"stalls"`
 }
 
 // Marshal is a helper for building requests.

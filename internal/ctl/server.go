@@ -211,6 +211,8 @@ func (s *Server) dispatch(req Request) (data json.RawMessage, err error) {
 		return s.recoveryStatus()
 	case OpOverload:
 		return s.overloadStatus()
+	case OpShards:
+		return s.shardsStatus()
 	default:
 		return nil, fmt.Errorf("ctl: unknown op %q", req.Op)
 	}
@@ -475,6 +477,36 @@ func (s *Server) overloadStatus() (json.RawMessage, error) {
 		ShedPackets:    snap.ShedPackets,
 		Signals:        snap.Signals,
 	})
+}
+
+// shardsStatus reports the engine shard coordinator's counters
+// (engine.shards). An unsharded daemon answers Sharded=false with one
+// synthetic row for its single engine rather than erroring, so
+// nnetstat -shards degrades gracefully.
+func (s *Server) shardsStatus() (json.RawMessage, error) {
+	st := s.sys.ShardStats()
+	data := ShardsData{
+		Sharded:   st.Sharded,
+		Shards:    st.Shards,
+		Buckets:   st.Buckets,
+		Epochs:    st.Epochs,
+		Delivered: st.Delivered,
+		Rows:      make([]ShardRow, len(st.Rows)),
+	}
+	if st.Sharded {
+		data.Epoch = st.Epoch.String()
+	}
+	for i, r := range st.Rows {
+		data.Rows[i] = ShardRow{
+			Shard:    r.Shard,
+			Events:   r.Events,
+			MailSent: r.MailSent,
+			MailRecv: r.MailRecv,
+			Pending:  r.Pending,
+			Stalls:   r.Stalls,
+		}
+	}
+	return marshal(data)
 }
 
 // RegisterMetrics exposes the control plane's own request accounting on a

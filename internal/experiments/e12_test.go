@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestE12Determinism is the acceptance gate of the sharded engine: the E12
+// table — every counter and every derived float — must be byte-identical
+// whether the buckets run on one shard or eight. scripts/check.sh repeats
+// this diff under -race via cmd/kopibench.
+func TestE12Determinism(t *testing.T) {
+	const scale = 0.002
+	ref, refTbl := RunE12(scale, 1)
+	refStr := refTbl.String()
+	if len(ref) == 0 || ref[0].Pkts == 0 {
+		t.Fatal("reference sweep is empty")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		_, tbl := RunE12(scale, shards)
+		if got := tbl.String(); got != refStr {
+			t.Errorf("shards=%d: table differs from 1-shard reference\n--- 1 shard\n%s\n--- %d shards\n%s",
+				shards, refStr, shards, got)
+		}
+	}
+}
+
+// TestE12Shape sanity-checks one small sweep point: every packet delivered,
+// nothing dropped, every connection's completion crossed a bucket boundary,
+// and the flyweight budget held.
+func TestE12Shape(t *testing.T) {
+	points, _ := RunE12(0.002, 4)
+	for _, p := range points {
+		if p.Pkts != uint64(p.Conns)*e12PktsPerConn {
+			t.Errorf("conns=%d: delivered %d pkts, want %d", p.Conns, p.Pkts, p.Conns*e12PktsPerConn)
+		}
+		if p.Drops != 0 {
+			t.Errorf("conns=%d: %d ring drops under paced load", p.Conns, p.Drops)
+		}
+		if p.XShardMsgs != uint64(p.Conns) {
+			t.Errorf("conns=%d: %d cross-bucket completions", p.Conns, p.XShardMsgs)
+		}
+		if p.HotBytes > 64 {
+			t.Errorf("conns=%d: hot state %d B/conn over budget", p.Conns, p.HotBytes)
+		}
+		if p.GoodputGbps <= 0 || p.Epochs == 0 {
+			t.Errorf("conns=%d: degenerate point %+v", p.Conns, p)
+		}
+	}
+}

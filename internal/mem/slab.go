@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"fmt"
+	"unsafe"
+
+	"norman/internal/sim"
+)
+
+// ConnSlab holds the flyweight per-connection records of the sharded scale
+// path (DESIGN.md §8): structure-of-arrays state indexed by dense connID,
+// replacing the per-connection heap objects (nic.Conn, two rings, buffers)
+// that make 1M-connection worlds infeasible. Opening a connection is an
+// array write, not an allocation, and the hot state per connection is a
+// handful of scalars — ≤ 64 bytes, asserted by HotBytesPerConn — so a
+// million connections cost tens of megabytes and zero allocator pressure.
+//
+// Each record is addressed at a 64-byte stride from the slab's simulated
+// physical base, one cache line per connection, so the cache model can
+// charge slab touches against the real footprint.
+type ConnSlab struct {
+	// Hot per-connection arrays. Kept exported: the dataplane indexes them
+	// directly (s.RxBytes[id] += n), the same zero-indirection access a
+	// flyweight record in hardware SRAM would get.
+	RxBytes []uint64   // payload bytes delivered in order
+	LastAt  []sim.Time // virtual time of the last delivery
+	RxPkts  []uint32   // packets delivered
+	TxPkts  []uint32   // packets sourced (next send sequence)
+	SeqNext []uint32   // next expected receive sequence
+	OooPkts []uint32   // out-of-order or duplicate arrivals observed
+	Bucket  []uint16   // RSS bucket the connection hashes to
+	State   []uint8    // ConnClosed / ConnOpen
+
+	baseAddr uint64
+}
+
+// Connection states in ConnSlab.State.
+const (
+	ConnClosed uint8 = iota
+	ConnOpen
+)
+
+// connStride is the simulated address stride per record: one cache line.
+const connStride = 64
+
+// NewConnSlab returns a slab with capacity for n connections, mapped at the
+// given simulated physical base address.
+func NewConnSlab(n int, baseAddr uint64) *ConnSlab {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: conn slab capacity %d", n))
+	}
+	return &ConnSlab{
+		RxBytes:  make([]uint64, n),
+		LastAt:   make([]sim.Time, n),
+		RxPkts:   make([]uint32, n),
+		TxPkts:   make([]uint32, n),
+		SeqNext:  make([]uint32, n),
+		OooPkts:  make([]uint32, n),
+		Bucket:   make([]uint16, n),
+		State:    make([]uint8, n),
+		baseAddr: baseAddr,
+	}
+}
+
+// Len returns the slab capacity in connections.
+func (s *ConnSlab) Len() int { return len(s.State) }
+
+// HotBytesPerConn returns the actual hot-state bytes each connection
+// occupies across the arrays — the number the ≤ 64 B flyweight budget is
+// enforced against.
+func (s *ConnSlab) HotBytesPerConn() int {
+	return int(unsafe.Sizeof(s.RxBytes[0]) + unsafe.Sizeof(s.LastAt[0]) +
+		unsafe.Sizeof(s.RxPkts[0]) + unsafe.Sizeof(s.TxPkts[0]) +
+		unsafe.Sizeof(s.SeqNext[0]) + unsafe.Sizeof(s.OooPkts[0]) +
+		unsafe.Sizeof(s.Bucket[0]) + unsafe.Sizeof(s.State[0]))
+}
+
+// AddrOf returns the simulated physical address of a connection's record
+// (line-aligned), for cache-model charging.
+func (s *ConnSlab) AddrOf(id int) uint64 { return s.baseAddr + uint64(id)*connStride }
+
+// FootprintBytes returns the simulated memory the slab occupies at its
+// one-line-per-connection stride.
+func (s *ConnSlab) FootprintBytes() int { return s.Len() * connStride }
+
+// Open marks a connection live in the given RSS bucket, resetting its
+// state. It is an array write — no allocation.
+func (s *ConnSlab) Open(id int, bucket uint16) {
+	s.RxBytes[id] = 0
+	s.LastAt[id] = 0
+	s.RxPkts[id] = 0
+	s.TxPkts[id] = 0
+	s.SeqNext[id] = 0
+	s.OooPkts[id] = 0
+	s.Bucket[id] = bucket
+	s.State[id] = ConnOpen
+}

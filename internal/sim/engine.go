@@ -155,8 +155,13 @@ func (e *Engine) After(d Duration, fn func()) {
 }
 
 // Stop makes Run return after the current event completes. Pending events
-// remain queued; a subsequent Run continues from where it stopped.
-func (e *Engine) Stop() { e.stopped = true }
+// remain queued; a subsequent Run continues from where it stopped. The
+// fired-event delta is flushed to FiredTotal immediately so a stopped
+// engine's work is never invisible to process-wide accounting.
+func (e *Engine) Stop() {
+	e.stopped = true
+	e.flushFired()
+}
 
 // Step executes the single earliest pending event and reports whether one
 // existed.
@@ -207,3 +212,24 @@ func (e *Engine) RunUntil(deadline Time) Time {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// NextAt returns the time of the earliest pending event, if any. The shard
+// coordinator uses it to fast-forward barriers over dead air.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// AddFired credits n logical sub-events processed inside the currently
+// running callback — the accounting half of batched dispatch: when one
+// engine event drains a burst of n ring descriptors, the engine has done
+// n+1 events' worth of simulated work for one heap pop, and events/s
+// reporting (Fired, FiredTotal) must say so. Flushed with the ordinary
+// fired-count delta at run and barrier exits.
+func (e *Engine) AddFired(n int) {
+	if n > 0 {
+		e.nFired += uint64(n)
+	}
+}

@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"norman/internal/mem"
+	"norman/internal/sim"
+)
+
+// Flyweight transport: the per-connection protocol state of the sharded
+// scale path lives in a mem.ConnSlab — dense arrays, ≤ 64 hot bytes per
+// connection — instead of a Stream object per connection. The operations
+// below are the whole protocol surface the 100k–1M-connection worlds need
+// (sequence tracking, duplicate/gap accounting, delivery counters), written
+// as free functions over the slab so the receive path stays allocation-free
+// and a record never leaves its RSS bucket's shard.
+
+// FlyweightOpen admits a connection into a bucket and resets its record.
+func FlyweightOpen(s *mem.ConnSlab, id int, bucket uint16) {
+	s.Open(id, bucket)
+}
+
+// FlyweightTx returns the connection's next send sequence and advances it.
+func FlyweightTx(s *mem.ConnSlab, id int) uint32 {
+	seq := s.TxPkts[id]
+	s.TxPkts[id]++
+	return seq
+}
+
+// FlyweightRx advances a connection's receive state for one delivered
+// packet and reports whether the payload counts as goodput. In-order
+// arrivals advance SeqNext; a gap is accepted forward (loss already showed
+// up as a ring reject elsewhere — the flyweight records it and resumes at
+// the new head); a stale sequence is a duplicate and is dropped. Array
+// reads and writes only: no allocation on any path.
+func FlyweightRx(s *mem.ConnSlab, id int, seq uint32, payload int, at sim.Time) bool {
+	if s.State[id] != mem.ConnOpen {
+		return false
+	}
+	switch next := s.SeqNext[id]; {
+	case seq == next:
+		s.SeqNext[id] = seq + 1
+	case seq > next:
+		s.OooPkts[id]++
+		s.SeqNext[id] = seq + 1
+	default:
+		s.OooPkts[id]++
+		return false
+	}
+	s.RxPkts[id]++
+	s.RxBytes[id] += uint64(payload)
+	s.LastAt[id] = at
+	return true
+}

@@ -89,6 +89,12 @@ func WithoutCacheModel() Option {
 	return func(c *config) { c.world.NoLLC = true }
 }
 
+// WithShards runs the world's engine as n lockstep shards under a barrier
+// coordinator (DESIGN.md §8). n ≤ 1 keeps the classic single engine.
+func WithShards(n int) Option {
+	return func(c *config) { c.world.Shards = n }
+}
+
 // User is a system user handle.
 type User struct {
 	UID  uint32
@@ -189,7 +195,12 @@ func (s *System) Run() Duration {
 	if resume {
 		s.gov.Stop()
 	}
-	t := sim.Duration(s.w.Eng.Run())
+	var t Duration
+	if s.w.Coord != nil {
+		t = sim.Duration(s.w.Coord.Run())
+	} else {
+		t = sim.Duration(s.w.Eng.Run())
+	}
 	if resume {
 		s.gov.Start(0)
 	}
@@ -198,6 +209,9 @@ func (s *System) Run() Duration {
 
 // RunFor executes events up to d of virtual time.
 func (s *System) RunFor(d Duration) Duration {
+	if s.w.Coord != nil {
+		return sim.Duration(s.w.Coord.RunUntil(s.w.Coord.Now().Add(d)))
+	}
 	return sim.Duration(s.w.Eng.RunUntil(s.w.Eng.Now().Add(d)))
 }
 
@@ -267,6 +281,60 @@ func (s *System) Telemetry() *telemetry.Registry { return s.reg }
 
 // Tracer returns the packet-lifecycle tracer, nil before EnableTelemetry.
 func (s *System) Tracer() *telemetry.Tracer { return s.w.Tracer }
+
+// ShardStat is one engine shard's counters in a ShardStats snapshot.
+type ShardStat struct {
+	Shard    int
+	Events   uint64
+	MailSent uint64
+	MailRecv uint64
+	Pending  int
+	Stalls   uint64
+}
+
+// ShardStats is the engine shard coordinator's snapshot. An unsharded
+// system reports Sharded=false with one synthetic row for its single
+// engine, so callers (the ctl server, nnetstat) never need two code paths.
+type ShardStats struct {
+	Sharded   bool
+	Shards    int
+	Buckets   int
+	Epoch     Duration
+	Epochs    uint64
+	Delivered uint64
+	Rows      []ShardStat
+}
+
+// ShardStats snapshots the shard coordinator's counters.
+func (s *System) ShardStats() ShardStats {
+	c := s.w.Coord
+	if c == nil {
+		return ShardStats{
+			Shards: 1,
+			Rows:   []ShardStat{{Shard: 0, Events: s.w.Eng.Fired()}},
+		}
+	}
+	st := ShardStats{
+		Sharded:   true,
+		Shards:    c.Shards(),
+		Buckets:   c.Buckets(),
+		Epoch:     c.Epoch(),
+		Epochs:    c.Epochs(),
+		Delivered: c.Delivered(),
+		Rows:      make([]ShardStat, c.Shards()),
+	}
+	for i := range st.Rows {
+		st.Rows[i] = ShardStat{
+			Shard:    i,
+			Events:   c.ShardFired(i),
+			MailSent: c.MailSent(i),
+			MailRecv: c.MailRecv(i),
+			Pending:  c.MailPending(i),
+			Stalls:   c.Stalls(i),
+		}
+	}
+	return st
+}
 
 // World exposes the underlying simulation world for advanced use (bench
 // harnesses, custom peers). Most callers never need it.

@@ -53,6 +53,10 @@ NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E10|Recovery|J
 # cross-subsystem chaos soak must be byte-identical sequentially and at any
 # pool width.
 NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E11|Overload|Watchdog|Watermark|Chaos' ./internal/experiments/... ./internal/overload/... ./internal/transport/... ./internal/mem/... .
+# Sharded-engine determinism under race: the E12 table and the barrier
+# coordinator's merge order must be byte-identical at any shard count
+# (DESIGN.md §8), with the lockstep worker goroutines under the detector.
+NORMAN_WORKERS=8 go test -race -count=1 -run 'E12|Shard|Sharded|Flyweight|QueueGroup|Slab|Burst' ./internal/experiments/... ./internal/sim/... ./internal/mem/... ./internal/transport/... ./internal/nic/... ./internal/arch/...
 
 # pcap round-trip smoke: boot a real daemon, capture through the control
 # socket, and validate the exported file carries the classic little-endian
@@ -149,5 +153,29 @@ grep -q 8888 "$tmp/rec2.rules"
 "$tmp/nnetstat" -socket "$tmp/rec.sock" -pressure | tee "$tmp/pressure.out"
 grep -q "watchdog: ok" "$tmp/pressure.out"
 grep -q "admission:" "$tmp/pressure.out"
+kill "$daemon_pid"
+
+# E12 shard-determinism smoke: the same sweep on 1 engine and on 8 lockstep
+# shards must render a byte-identical table (-race so the barrier's worker
+# goroutines run under the detector; wall-clock footer lines filtered).
+go build -race -o "$tmp/kopibench" ./cmd/kopibench
+"$tmp/kopibench" -e E12 -scale 0.002 -shards 1 | grep -v '^\(===\|---\)' >"$tmp/e12.shards1"
+"$tmp/kopibench" -e E12 -scale 0.002 -shards 8 | grep -v '^\(===\|---\)' >"$tmp/e12.shards8"
+diff "$tmp/e12.shards1" "$tmp/e12.shards8"
+
+# Sharded-daemon smoke: a daemon running its world on 4 engine shards must
+# serve the engine.shards op with per-shard rows through nnetstat -shards.
+"$tmp/normand" -socket "$tmp/sh.sock" -shards 4 &
+daemon_pid=$!
+i=0
+while [ ! -S "$tmp/sh.sock" ]; do
+	i=$((i + 1))
+	[ "$i" -le 100 ] || { echo "sharded normand never opened its socket" >&2; exit 1; }
+	sleep 0.1
+done
+"$tmp/ntcpdump" -socket "$tmp/sh.sock" -advance 5 udp >/dev/null
+"$tmp/nnetstat" -socket "$tmp/sh.sock" -shards | tee "$tmp/shards.out"
+grep -q "engine: 4 shards" "$tmp/shards.out"
+grep -q "shard 3:" "$tmp/shards.out"
 kill "$daemon_pid"
 echo "check.sh: all gates passed"
