@@ -132,6 +132,15 @@ func BenchmarkE12ShardedScale(b *testing.B) {
 	}
 }
 
+func BenchmarkE13TenantIsolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE13(benchScale, 1)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl)
+		}
+	}
+}
+
 // TestEngineHotPathZeroAllocs guards the engine dispatch loop against
 // allocation regressions: a warmed heap must schedule and fire events
 // without touching the allocator.

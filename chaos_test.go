@@ -214,3 +214,180 @@ func TestChaosSoak(t *testing.T) {
 		t.Errorf("chaos soak not deterministic:\nrun1 %+v\nrun2 %+v", r, r2)
 	}
 }
+
+// chaosTenantResult fingerprints one adversarial-tenant soak: per-tenant
+// delivery and rejection counts plus the full merged tenant status rows.
+type chaosTenantResult struct {
+	VicDelivered int
+	AdvDelivered int
+	AdvRejected  int
+	DownRejected int
+
+	TxLost      uint64
+	TxCorrupted uint64
+	RingBursts  uint64
+
+	ReportClean      bool
+	ReportInvariants bool
+	Tenants          []norman.TenantStatus
+}
+
+// chaosTenantRun layers the PR 7 isolation machinery under the chaos
+// schedule: a weighted-scheduler world where a noisy tenant floods elephant
+// flows through wire faults and a control-plane crash/restart, while a
+// victim tenant keeps a steady trickle. The fingerprint includes the merged
+// TenantsStatus rows, so any map-order or accounting nondeterminism in the
+// scheduler, cache partition or governor shows up as a DeepEqual failure.
+func chaosTenantRun(t *testing.T) chaosTenantResult {
+	t.Helper()
+	const horizon = 5 * sim.Millisecond
+
+	sys := norman.New(norman.KOPI)
+	sys.EnableRecovery()
+	sys.EnableOverload(overload.Config{
+		MaxConnsPerTenant: 24,
+		SampleEvery:       10 * sim.Microsecond,
+		EscalateAfter:     1,
+		ClearAfter:        2,
+	})
+	if err := sys.EnableTenantIsolation(map[uint32]int{1: 7, 2: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sys.UseEchoPeer()
+
+	w := sys.World()
+	inj := faults.New(w.Eng, w.NIC, w.LLC, faults.Config{
+		Seed:  7,
+		Label: "chaos-tenant",
+		Tx:    faults.WireConfig{Loss: 0.05, Corrupt: 0.02, Reorder: 0.03},
+		Ring:  faults.RingConfig{Period: 250 * sim.Microsecond, Window: 1, DDIOLines: 2048},
+	})
+	inj.AttachTx()
+
+	vic := sys.AddUser(1000, "victim")
+	adv := sys.AddUser(1001, "adversary")
+	sys.AssignTenant(vic, 1)
+	sys.AssignTenant(adv, 2)
+	vicApp := sys.Spawn(vic, "victim-svc")
+	advApp := sys.Spawn(adv, "adversary-svc")
+
+	res := chaosTenantResult{}
+	var vicConns, advConns []*norman.Conn
+	for i := 0; i < 8; i++ {
+		c, err := sys.Dial(vicApp, uint16(41000+i), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.OnReceive(func(norman.Delivery) { res.VicDelivered++ })
+		vicConns = append(vicConns, c)
+	}
+	// The adversary offers well past its weight-1 DDIO ring share (which
+	// bites before the 24-conn cap); the excess must bounce typed, and the
+	// victim's dials above were untouched by it.
+	for i := 0; i < 32; i++ {
+		c, err := sys.Dial(advApp, uint16(42000+i), 7)
+		if err != nil {
+			if !errors.Is(err, norman.ErrAdmission) {
+				t.Fatalf("adversary dial %d = %v, want ErrAdmission", i, err)
+			}
+			res.AdvRejected++
+			continue
+		}
+		c.OnReceive(func(norman.Delivery) { res.AdvDelivered++ })
+		advConns = append(advConns, c)
+	}
+
+	// The victim trickles; the adversary floods full frames 4x as fast.
+	for i := 0; i < 500; i++ {
+		c := vicConns[i%len(vicConns)]
+		sys.At(sim.Duration(i)*8*sim.Microsecond, func() { c.Send(256) })
+	}
+	for i := 0; i < 2000; i++ {
+		c := advConns[i%len(advConns)]
+		sys.At(sim.Duration(i)*2*sim.Microsecond, func() { c.Send(1460) })
+	}
+
+	// Crash/restart mid-flood: the journal replays under the adversary's
+	// pressure and the tenant machinery survives the control-plane bounce.
+	var rep *recovery.Report
+	sys.At(1500*sim.Microsecond, func() {
+		if err := sys.CrashControlPlane(); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	})
+	sys.At(1700*sim.Microsecond, func() {
+		if _, err := sys.Dial(advApp, 43000, 7); errors.Is(err, norman.ErrControlPlaneDown) {
+			res.DownRejected++
+		}
+	})
+	sys.At(2100*sim.Microsecond, func() {
+		r, err := sys.RestartControlPlane()
+		if err != nil {
+			t.Errorf("restart: %v", err)
+			return
+		}
+		rep = r
+	})
+
+	inj.Start(sim.Time(horizon))
+	sys.RunFor(horizon)
+	sys.Run()
+
+	res.TxLost = inj.Tx.Lost
+	res.TxCorrupted = inj.Tx.Corrupted
+	res.RingBursts = inj.RingBursts
+	if rep == nil {
+		t.Fatal("the restart never ran")
+	}
+	res.ReportClean = rep.Clean
+	res.ReportInvariants = rep.InvariantsOK
+	res.Tenants = sys.TenantsStatus()
+	return res
+}
+
+// TestChaosAdversarialTenant gates the isolation machinery's composition with
+// the chaos layers: the noisy tenant's excess bounces typed, the victim's
+// echoes keep flowing through faults and the crash, the weighted scheduler's
+// grant split favors whoever offered more without starving the other, and
+// the complete fingerprint — including every merged TenantsStatus row — is
+// byte-identical across two executions of the same seeded schedule.
+func TestChaosAdversarialTenant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversarial-tenant soak runs a 5ms composed schedule; skipped in -short")
+	}
+	r := chaosTenantRun(t)
+
+	if r.AdvRejected != 19 {
+		t.Errorf("adversary rejected = %d, want 19 (32 offered vs the weight-1 DDIO ring share)", r.AdvRejected)
+	}
+	if r.DownRejected != 1 {
+		t.Errorf("typed down-rejections = %d, want 1", r.DownRejected)
+	}
+	if !r.ReportClean || !r.ReportInvariants {
+		t.Errorf("restart under adversarial load must reconcile clean: %+v", r)
+	}
+	if r.TxLost == 0 || r.TxCorrupted == 0 || r.RingBursts == 0 {
+		t.Errorf("fault layer idle: %+v", r)
+	}
+	// Both tenants made progress: the adversary could not starve the victim,
+	// and the scheduler did not starve the adversary either.
+	if r.VicDelivered == 0 || r.AdvDelivered == 0 {
+		t.Errorf("deliveries vic=%d adv=%d, want both nonzero", r.VicDelivered, r.AdvDelivered)
+	}
+	// The merged status rows cover exactly the two tenants, in order, and the
+	// scheduler actually granted both.
+	if len(r.Tenants) != 2 || r.Tenants[0].Tenant != 1 || r.Tenants[1].Tenant != 2 {
+		t.Fatalf("tenant rows = %+v, want tenants 1 and 2", r.Tenants)
+	}
+	if r.Tenants[0].PipeGrants == 0 || r.Tenants[1].PipeGrants == 0 {
+		t.Errorf("pipe grants vic=%d adv=%d, want both nonzero",
+			r.Tenants[0].PipeGrants, r.Tenants[1].PipeGrants)
+	}
+	if r.Tenants[0].Weight != 7 || r.Tenants[1].Weight != 1 {
+		t.Errorf("weights = %d/%d, want 7/1", r.Tenants[0].Weight, r.Tenants[1].Weight)
+	}
+
+	if r2 := chaosTenantRun(t); !reflect.DeepEqual(r, r2) {
+		t.Errorf("adversarial-tenant soak not deterministic:\nrun1 %+v\nrun2 %+v", r, r2)
+	}
+}

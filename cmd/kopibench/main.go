@@ -1,4 +1,4 @@
-// Command kopibench regenerates the paper-reproduction experiments (E1–E12
+// Command kopibench regenerates the paper-reproduction experiments (E1–E13
 // in DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -72,10 +72,12 @@ var registry = map[string]struct {
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE11(s); return t }},
 	"E12": {"sharded within-world engine: 10k-1M connections, shard-count-invariant tables",
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE12(s, e12Shards); return t }},
+	"E13": {"multi-tenant isolation: adversarial tenant vs victim p99, raw bypass vs governed KOPI",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE13(s, e12Shards); return t }},
 }
 
-// e12Shards is the -shards flag: how many engine shards E12 spreads its RSS
-// buckets over. The experiment's results are byte-identical at any value.
+// e12Shards is the -shards flag: how many engine shards E12 (and E13) spread
+// their worlds over. The experiments' results are byte-identical at any value.
 var e12Shards = 1
 
 // e9Telemetry is the observability sink E9 fills when -metrics-out is set
@@ -113,7 +115,7 @@ type engineRecord struct {
 }
 
 func main() {
-	exp := flag.String("e", "", "experiment id (E1..E12); empty = all")
+	exp := flag.String("e", "", "experiment id (E1..E13); empty = all")
 	scale := flag.Float64("scale", 1.0, "duration/sweep scale factor (1.0 = full)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Bool("parallel", false, "fan each experiment's independent worlds across all cores")

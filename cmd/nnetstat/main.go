@@ -9,7 +9,9 @@
 // governor: watchdog health state, admission budgets and rejections, and
 // shed/backpressure accounting. With -shards it reports the engine shard
 // coordinator: per-shard event counts, mailbox traffic and depths, and
-// barrier epoch/stall accounting.
+// barrier epoch/stall accounting. With -tenants it reports the multi-tenant
+// isolation machinery: per-tenant scheduler grants, DDIO partition hits and
+// misses, and governor budgets and health.
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 	recoveryFlag := flag.Bool("recovery", false, "show the daemon's crash-recovery status (journal, last reconciliation)")
 	pressure := flag.Bool("pressure", false, "show the daemon's overload-governor status (watchdog state, admission, shedding)")
 	shardsFlag := flag.Bool("shards", false, "show the daemon's engine shard coordinator (per-shard events, mailboxes, barrier stalls)")
+	tenantsFlag := flag.Bool("tenants", false, "show the daemon's per-tenant isolation status (scheduler grants, DDIO partition, budgets)")
 	flag.Parse()
 
 	c, err := ctl.Dial(*socket)
@@ -60,6 +63,25 @@ func main() {
 			data.RingBytes, budget, data.Occupancy, data.FifoFrac)
 		fmt.Printf("degradation: %d packets shed, %d backpressure signals\n",
 			data.ShedPackets, data.Signals)
+		return
+	}
+
+	if *tenantsFlag {
+		var data ctl.TenantData
+		if err := c.Call(ctl.OpTenants, nil, &data); err != nil {
+			fatal(err)
+		}
+		if !data.Enabled {
+			fmt.Println("tenants: isolation not enabled on this daemon")
+			return
+		}
+		fmt.Printf("tenants: %d under weighted isolation\n", len(data.Tenants))
+		for _, r := range data.Tenants {
+			fmt.Printf("  tenant %d (weight %d): %s, %d conns, pipe %d / dma %d grants, %d fifo drops\n",
+				r.Tenant, r.Weight, r.State, r.Conns, r.PipeGrants, r.DMAGrants, r.FifoDrops)
+			fmt.Printf("    ddio: %d ways, %d hits / %d misses; ring %d / %d bytes, %d transitions\n",
+				r.DDIOWays, r.DDIOHits, r.DDIOMisses, r.RingBytes, r.RingBudget, r.Transitions)
+		}
 		return
 	}
 

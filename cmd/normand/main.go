@@ -45,6 +45,13 @@ func main() {
 	// like any tenant's would; the watchdog samples as ctl requests step
 	// virtual time, and nnetstat -pressure reads its state.
 	sys.EnableOverload(overload.Config{}).Start(0)
+	// Tenant isolation over the demo users: bob is the latency-sensitive
+	// tenant (weight 3), charlie the bulk one (weight 1). The weighted
+	// scheduler, DDIO partition and per-tenant budgets are all live;
+	// nnetstat -tenants reads the merged rows.
+	if err := sys.EnableTenantIsolation(map[uint32]int{1: 3, 2: 1}); err != nil {
+		log.Fatalf("normand: tenant isolation: %v", err)
+	}
 	// Observability on from the start: the metrics registry and the packet
 	// tracer feed nnetstat -metrics and ntcpdump -trace.
 	reg := sys.EnableTelemetry()
@@ -60,6 +67,8 @@ func main() {
 
 	bob := sys.AddUser(1001, "bob")
 	charlie := sys.AddUser(1002, "charlie")
+	sys.AssignTenant(bob, 1)
+	sys.AssignTenant(charlie, 2)
 
 	// Bob's postgres: steady request/response on port 5432.
 	postgres := sys.Spawn(bob, "postgres")

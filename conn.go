@@ -46,7 +46,7 @@ func (s *System) dial(proc *Process, flow packet.FlowKey) (*Conn, error) {
 		return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
 	}
 	if s.gov != nil {
-		if err := s.gov.AdmitConn(proc.UID()); err != nil {
+		if err := s.gov.AdmitConn(s.w.Kern.TenantOf(proc.UID())); err != nil {
 			return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
 		}
 	}
@@ -57,7 +57,7 @@ func (s *System) dial(proc *Process, flow packet.FlowKey) (*Conn, error) {
 	if err != nil {
 		s.abortRecord(open)
 		if s.gov != nil {
-			s.gov.ReleaseConn(proc.UID())
+			s.gov.ReleaseConn(s.w.Kern.TenantOf(proc.UID()))
 		}
 		return nil, fmt.Errorf("norman: dial %s: %w", flow, err)
 	}
@@ -82,7 +82,7 @@ func (c *Conn) Close() error {
 		return err
 	}
 	if s.gov != nil {
-		s.gov.ReleaseConn(c.c.Info.UID)
+		s.gov.ReleaseConn(s.w.Kern.TenantOf(c.c.Info.UID))
 	}
 	s.commitNICConfig()
 	return nil

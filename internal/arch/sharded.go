@@ -154,7 +154,7 @@ func NewShardedWorld(cfg ShardedConfig) *ShardedWorld {
 	for c := 0; c < cfg.Conns; c++ {
 		b := uint16(nic.RSSHash(nic.DefaultRSSKey, connFlow(c)) % uint32(cfg.Buckets))
 		sw.connBucket[c] = b
-		sw.Slab.Open(c, b)
+		sw.Slab.Open(c, b, 0)
 		sw.Buckets[b].conns = append(sw.Buckets[b].conns, uint32(c))
 	}
 	return sw

@@ -16,6 +16,25 @@
 // and never enters this model; see nic.dmaCost.
 package cache
 
+import (
+	"fmt"
+	"sort"
+)
+
+// wayRange is one tenant's slice of the DDIO partition: ways [lo, lo+n).
+type wayRange struct {
+	lo, n int
+}
+
+// TenantDMAStats is one tenant's device-access counters under the DDIO
+// partition.
+type TenantDMAStats struct {
+	Tenant uint32
+	Ways   int
+	Hits   uint64
+	Misses uint64
+}
+
 // LLC is a set-associative last-level cache. The zero value is unusable;
 // construct with New.
 type LLC struct {
@@ -34,6 +53,15 @@ type LLC struct {
 	misses    uint64
 	dmaHits   uint64
 	dmaMisses uint64
+
+	// Per-tenant DDIO way partition (PartitionDDIO): each listed tenant's
+	// device accesses look up and allocate only inside its own way range, so
+	// one tenant's descriptor footprint cannot evict another's. Tenants
+	// outside the partition fall back to the whole DDIO region.
+	parts      map[uint32]wayRange
+	partOrder  []uint32 // sorted tenant ids, for deterministic accessors
+	tenantHit  map[uint32]uint64
+	tenantMiss map[uint32]uint64
 }
 
 // Config describes an LLC geometry.
@@ -88,20 +116,28 @@ func (c *LLC) lineOf(addr uint64) (set int, tag uint64) {
 // access performs a lookup over lookupWays ways and, on miss, allocates the
 // LRU entry among allocWays ways. allocWays == 0 means no allocation.
 func (c *LLC) access(addr uint64, lookupWays, allocWays int) (hit bool) {
+	return c.accessWays(addr, 0, lookupWays, 0, allocWays)
+}
+
+// accessWays generalizes access to arbitrary way windows: lookup scans ways
+// [lookupLo, lookupHi); on miss the LRU entry in [allocLo, allocHi) is
+// replaced (an empty alloc window means no allocation). This is the primitive
+// the per-tenant DDIO partition is built on.
+func (c *LLC) accessWays(addr uint64, lookupLo, lookupHi, allocLo, allocHi int) (hit bool) {
 	set, tag := c.lineOf(addr)
 	base := set * c.ways
 	c.clock++
-	for w := 0; w < lookupWays; w++ {
+	for w := lookupLo; w < lookupHi; w++ {
 		if c.tags[base+w] == tag {
 			c.stamp[base+w] = c.clock
 			return true
 		}
 	}
-	if allocWays == 0 {
+	if allocHi <= allocLo {
 		return false
 	}
-	victim := base
-	for w := 1; w < allocWays; w++ {
+	victim := base + allocLo
+	for w := allocLo + 1; w < allocHi; w++ {
 		if c.stamp[base+w] < c.stamp[victim] {
 			victim = base + w
 		}
@@ -138,6 +174,123 @@ func (c *LLC) DMAAccess(addr uint64) bool {
 	return hit
 }
 
+// PartitionDDIO splits the DDIO ways among tenants: each listed tenant gets a
+// contiguous, exclusive way range sized by its entry, assigned in ascending
+// tenant order. The requested ways must fit the DDIO region (and every share
+// must be positive) or the partition is rejected. Installing a partition
+// replaces any previous one and resets per-tenant counters; cached lines are
+// left in place — a line now outside its owner's range simply ages out.
+func (c *LLC) PartitionDDIO(ways map[uint32]int) error {
+	if len(ways) == 0 {
+		c.ClearPartition()
+		return nil
+	}
+	ids := make([]uint32, 0, len(ways))
+	total := 0
+	for id, w := range ways {
+		if w <= 0 {
+			return fmt.Errorf("cache: tenant %d partition share %d ways (must be positive)", id, w)
+		}
+		total += w
+		ids = append(ids, id)
+	}
+	if total > c.ddioWays {
+		return fmt.Errorf("cache: partition wants %d ways, DDIO region has %d", total, c.ddioWays)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make(map[uint32]wayRange, len(ids))
+	lo := 0
+	for _, id := range ids {
+		parts[id] = wayRange{lo: lo, n: ways[id]}
+		lo += ways[id]
+	}
+	c.parts = parts
+	c.partOrder = ids
+	c.tenantHit = make(map[uint32]uint64, len(ids))
+	c.tenantMiss = make(map[uint32]uint64, len(ids))
+	return nil
+}
+
+// ClearPartition removes the per-tenant DDIO partition: device accesses share
+// the whole DDIO region again.
+func (c *LLC) ClearPartition() {
+	c.parts, c.partOrder, c.tenantHit, c.tenantMiss = nil, nil, nil, nil
+}
+
+// Partitioned reports whether a per-tenant DDIO partition is installed.
+func (c *LLC) Partitioned() bool { return len(c.parts) > 0 }
+
+// DMAAccessTenant is DMAAccess under the partition: the tenant's lookup and
+// allocation are confined to its own way range. Tenants without a range (the
+// unattributed tenant 0, or anyone the partition omits) use the whole DDIO
+// region — they can be evicted by everyone but evict only within the shared
+// window. Counters accrue both globally and per tenant.
+func (c *LLC) DMAAccessTenant(addr uint64, tenant uint32) bool {
+	r, ok := c.parts[tenant]
+	if !ok {
+		r = wayRange{lo: 0, n: c.ddioWays}
+	}
+	hit := c.accessWays(addr, r.lo, r.lo+r.n, r.lo, r.lo+r.n)
+	if hit {
+		c.dmaHits++
+		if c.tenantHit != nil {
+			c.tenantHit[tenant]++
+		}
+	} else {
+		c.dmaMisses++
+		if c.tenantMiss != nil {
+			c.tenantMiss[tenant]++
+		}
+	}
+	return hit
+}
+
+// TenantDMAStats returns per-tenant device hit/miss counters in ascending
+// tenant order: the partitioned tenants first (even when idle), then any
+// unpartitioned tenants that produced traffic. Sorted iteration keeps
+// metrics and ctl output deterministic.
+func (c *LLC) TenantDMAStats() []TenantDMAStats {
+	if c.tenantHit == nil {
+		return nil
+	}
+	seen := make(map[uint32]bool, len(c.partOrder))
+	ids := make([]uint32, 0, len(c.partOrder))
+	for _, id := range c.partOrder {
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	for id := range c.tenantHit {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	for id := range c.tenantMiss {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]TenantDMAStats, 0, len(ids))
+	for _, id := range ids {
+		st := TenantDMAStats{Tenant: id, Hits: c.tenantHit[id], Misses: c.tenantMiss[id]}
+		if r, ok := c.parts[id]; ok {
+			st.Ways = r.n
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// TenantWays returns a tenant's partition share in ways (0 = unpartitioned).
+func (c *LLC) TenantWays(tenant uint32) int {
+	if r, ok := c.parts[tenant]; ok {
+		return r.n
+	}
+	return 0
+}
+
 // Touch performs sequential accesses covering n bytes starting at addr,
 // returning how many of the covered lines hit. dma selects the DMA path.
 func (c *LLC) Touch(addr uint64, n int, dma bool) (hits, lines int) {
@@ -169,6 +322,9 @@ func (c *LLC) Stats() (cpuHits, cpuMisses, dmaHits, dmaMisses uint64) {
 // DDIOBytes returns the capacity DMA traffic can occupy.
 func (c *LLC) DDIOBytes() int { return c.sets * c.ddioWays * c.lineSz }
 
+// DDIOWays returns the number of ways in the DDIO region.
+func (c *LLC) DDIOWays() int { return c.ddioWays }
+
 // Reset invalidates the cache and zeroes statistics.
 func (c *LLC) Reset() {
 	for i := range c.tags {
@@ -177,4 +333,8 @@ func (c *LLC) Reset() {
 	}
 	c.clock = 0
 	c.hits, c.misses, c.dmaHits, c.dmaMisses = 0, 0, 0, 0
+	if c.tenantHit != nil {
+		c.tenantHit = make(map[uint32]uint64, len(c.parts))
+		c.tenantMiss = make(map[uint32]uint64, len(c.parts))
+	}
 }

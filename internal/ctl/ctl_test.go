@@ -373,3 +373,42 @@ func TestShardsOpSharded(t *testing.T) {
 		t.Fatal("no events counted across shards after advance")
 	}
 }
+
+// TestTenantStatusOp pins the tenant.status op: a daemon without isolation
+// answers Enabled=false (graceful degradation, like overload.status), a
+// daemon with the scheduler installed reports one merged row per tenant in
+// ascending order, and the op is registered idempotent so clients may retry
+// it across a control-plane outage.
+func TestTenantStatusOp(t *testing.T) {
+	if !IdempotentOp(OpTenants) {
+		t.Fatal("tenant.status must be idempotent: it is a read-only query")
+	}
+	c, sys := startServer(t)
+	var data TenantData
+	if err := c.Call(OpTenants, nil, &data); err != nil {
+		t.Fatal(err)
+	}
+	if data.Enabled || len(data.Tenants) != 0 {
+		t.Fatalf("isolation off must answer Enabled=false with no rows: %+v", data)
+	}
+
+	if err := sys.EnableTenantIsolation(map[uint32]int{1: 3, 2: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var st StatusData
+	if err := c.Call(OpAdvance, AdvanceArgs{Millis: 5}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(OpTenants, nil, &data); err != nil {
+		t.Fatal(err)
+	}
+	if !data.Enabled {
+		t.Fatal("isolation on must answer Enabled=true")
+	}
+	if len(data.Tenants) < 2 || data.Tenants[0].Tenant >= data.Tenants[1].Tenant {
+		t.Fatalf("want ascending tenant rows, got %+v", data.Tenants)
+	}
+	if data.Tenants[0].Weight != 3 || data.Tenants[1].Weight != 1 {
+		t.Fatalf("weights = %d/%d, want 3/1", data.Tenants[0].Weight, data.Tenants[1].Weight)
+	}
+}

@@ -44,6 +44,7 @@ const (
 	OpTrace         = "trace.get"
 	OpRecovery      = "recovery.status"
 	OpOverload      = "overload.status"
+	OpTenants       = "tenant.status"
 	OpShards        = "engine.shards"
 )
 
@@ -55,7 +56,7 @@ func IdempotentOp(op string) bool {
 	switch op {
 	case OpStatus, OpIPTablesList, OpTCShow, OpDumpFetch, OpDumpPcap,
 		OpNetstat, OpARP, OpTelemetry, OpTrace, OpRecovery, OpOverload,
-		OpShards:
+		OpTenants, OpShards:
 		return true
 	}
 	return false
@@ -226,6 +227,34 @@ type OverloadData struct {
 	FifoFrac       float64 `json:"fifo_frac,omitempty"`
 	ShedPackets    uint64  `json:"shed_packets,omitempty"`
 	Signals        uint64  `json:"backpressure_signals,omitempty"`
+}
+
+// TenantData answers tenant.status: one merged row per tenant combining the
+// NIC scheduler's grant counters, the LLC's DDIO partition accounting and
+// the governor's per-tenant budgets. Enabled reports whether the daemon runs
+// tenant isolation at all — a daemon without it answers Enabled=false and no
+// rows rather than erroring, so nnetstat -tenants degrades gracefully.
+type TenantData struct {
+	Enabled bool        `json:"enabled"`
+	Tenants []TenantRow `json:"tenants,omitempty"`
+}
+
+// TenantRow mirrors norman.TenantStatus field for field (proto stays free of
+// a norman import; the server converts).
+type TenantRow struct {
+	Tenant      uint32 `json:"tenant"`
+	Weight      int    `json:"weight"`
+	PipeGrants  uint64 `json:"pipe_grants"`
+	DMAGrants   uint64 `json:"dma_grants"`
+	FifoDrops   uint64 `json:"fifo_drops"`
+	DDIOWays    int    `json:"ddio_ways"`
+	DDIOHits    uint64 `json:"ddio_hits"`
+	DDIOMisses  uint64 `json:"ddio_misses"`
+	Conns       int    `json:"conns"`
+	RingBytes   int    `json:"ring_bytes"`
+	RingBudget  int    `json:"ring_budget_bytes"`
+	State       string `json:"state"`
+	Transitions uint64 `json:"transitions"`
 }
 
 // ShardsData is the engine shard coordinator's snapshot (engine.shards).

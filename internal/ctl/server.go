@@ -211,6 +211,8 @@ func (s *Server) dispatch(req Request) (data json.RawMessage, err error) {
 		return s.recoveryStatus()
 	case OpOverload:
 		return s.overloadStatus()
+	case OpTenants:
+		return s.tenantStatus()
 	case OpShards:
 		return s.shardsStatus()
 	default:
@@ -477,6 +479,35 @@ func (s *Server) overloadStatus() (json.RawMessage, error) {
 		ShedPackets:    snap.ShedPackets,
 		Signals:        snap.Signals,
 	})
+}
+
+// tenantStatus reports the merged per-tenant isolation rows (tenant.status).
+// A daemon without tenant isolation answers Enabled=false rather than
+// erroring, so nnetstat -tenants degrades gracefully.
+func (s *Server) tenantStatus() (json.RawMessage, error) {
+	if !s.sys.TenantIsolationEnabled() {
+		return marshal(TenantData{Enabled: false})
+	}
+	rows := s.sys.TenantsStatus()
+	data := TenantData{Enabled: true, Tenants: make([]TenantRow, 0, len(rows))}
+	for _, r := range rows {
+		data.Tenants = append(data.Tenants, TenantRow{
+			Tenant:      r.Tenant,
+			Weight:      r.Weight,
+			PipeGrants:  r.PipeGrants,
+			DMAGrants:   r.DMAGrants,
+			FifoDrops:   r.FifoDrops,
+			DDIOWays:    r.DDIOWays,
+			DDIOHits:    r.DDIOHits,
+			DDIOMisses:  r.DDIOMisses,
+			Conns:       r.Conns,
+			RingBytes:   r.RingBytes,
+			RingBudget:  r.RingBudget,
+			State:       r.State,
+			Transitions: r.Transitions,
+		})
+	}
+	return marshal(data)
 }
 
 // shardsStatus reports the engine shard coordinator's counters

@@ -78,6 +78,11 @@ type Kernel struct {
 	cmdIDs  map[string]uint32
 	nextCmd uint32
 
+	// tenants maps a uid to its isolation tenant (AssignTenant). UIDs with
+	// no explicit assignment are their own tenant — every user is isolated
+	// from every other by default, and grouping is an administrative act.
+	tenants map[uint32]uint32
+
 	arp *ARPCache
 
 	// Wakes performed (context switches the control plane triggered).
@@ -87,14 +92,15 @@ type Kernel struct {
 // New creates a kernel with an empty process table and user 0 (root).
 func New(eng *sim.Engine, model timing.Model) *Kernel {
 	k := &Kernel{
-		eng:    eng,
-		model:  model,
-		users:  map[uint32]*User{0: {UID: 0, Name: "root"}},
-		procs:  map[uint32]*Process{},
-		conns:  map[uint64]*ConnInfo{},
-		byFlow: map[packet.FlowKey]*ConnInfo{},
-		cmdIDs: map[string]uint32{},
-		arp:    NewARPCache(),
+		eng:     eng,
+		model:   model,
+		users:   map[uint32]*User{0: {UID: 0, Name: "root"}},
+		procs:   map[uint32]*Process{},
+		conns:   map[uint64]*ConnInfo{},
+		byFlow:  map[packet.FlowKey]*ConnInfo{},
+		cmdIDs:  map[string]uint32{},
+		tenants: map[uint32]uint32{},
+		arp:     NewARPCache(),
 	}
 	return k
 }
@@ -246,6 +252,27 @@ func (k *Kernel) Conns() []*ConnInfo {
 	return out
 }
 
+// AssignTenant groups a uid into an isolation tenant. The NIC's weighted
+// scheduler, the DDIO partition and the overload governor's per-tenant
+// budgets all key on this id. Tenant 0 clears the assignment (the uid
+// becomes its own tenant again).
+func (k *Kernel) AssignTenant(uid, tenant uint32) {
+	if tenant == 0 {
+		delete(k.tenants, uid)
+		return
+	}
+	k.tenants[uid] = tenant
+}
+
+// TenantOf resolves a uid's isolation tenant: the explicit assignment if one
+// exists, the uid itself otherwise.
+func (k *Kernel) TenantOf(uid uint32) uint32 {
+	if t, ok := k.tenants[uid]; ok {
+		return t
+	}
+	return uid
+}
+
 // Meta builds the trusted packet metadata the kernel programs into the NIC
 // for a connection (§4.3: connection setup goes through the kernel).
 func (k *Kernel) Meta(ci *ConnInfo) packet.Meta {
@@ -255,6 +282,7 @@ func (k *Kernel) Meta(ci *ConnInfo) packet.Meta {
 		Command:     ci.Command,
 		CommandID:   k.CommandID(ci.Command),
 		ConnID:      ci.ID,
+		Tenant:      k.TenantOf(ci.UID),
 		TrustedMeta: true,
 	}
 }

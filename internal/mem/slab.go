@@ -28,6 +28,7 @@ type ConnSlab struct {
 	TxPkts  []uint32   // packets sourced (next send sequence)
 	SeqNext []uint32   // next expected receive sequence
 	OooPkts []uint32   // out-of-order or duplicate arrivals observed
+	Tenant  []uint32   // owning tenant, for isolation accounting (0 = unattributed)
 	Bucket  []uint16   // RSS bucket the connection hashes to
 	State   []uint8    // ConnClosed / ConnOpen
 
@@ -56,6 +57,7 @@ func NewConnSlab(n int, baseAddr uint64) *ConnSlab {
 		TxPkts:   make([]uint32, n),
 		SeqNext:  make([]uint32, n),
 		OooPkts:  make([]uint32, n),
+		Tenant:   make([]uint32, n),
 		Bucket:   make([]uint16, n),
 		State:    make([]uint8, n),
 		baseAddr: baseAddr,
@@ -72,7 +74,8 @@ func (s *ConnSlab) HotBytesPerConn() int {
 	return int(unsafe.Sizeof(s.RxBytes[0]) + unsafe.Sizeof(s.LastAt[0]) +
 		unsafe.Sizeof(s.RxPkts[0]) + unsafe.Sizeof(s.TxPkts[0]) +
 		unsafe.Sizeof(s.SeqNext[0]) + unsafe.Sizeof(s.OooPkts[0]) +
-		unsafe.Sizeof(s.Bucket[0]) + unsafe.Sizeof(s.State[0]))
+		unsafe.Sizeof(s.Tenant[0]) + unsafe.Sizeof(s.Bucket[0]) +
+		unsafe.Sizeof(s.State[0]))
 }
 
 // AddrOf returns the simulated physical address of a connection's record
@@ -83,15 +86,16 @@ func (s *ConnSlab) AddrOf(id int) uint64 { return s.baseAddr + uint64(id)*connSt
 // one-line-per-connection stride.
 func (s *ConnSlab) FootprintBytes() int { return s.Len() * connStride }
 
-// Open marks a connection live in the given RSS bucket, resetting its
-// state. It is an array write — no allocation.
-func (s *ConnSlab) Open(id int, bucket uint16) {
+// Open marks a connection live in the given RSS bucket for the given
+// tenant, resetting its state. It is an array write — no allocation.
+func (s *ConnSlab) Open(id int, bucket uint16, tenant uint32) {
 	s.RxBytes[id] = 0
 	s.LastAt[id] = 0
 	s.RxPkts[id] = 0
 	s.TxPkts[id] = 0
 	s.SeqNext[id] = 0
 	s.OooPkts[id] = 0
+	s.Tenant[id] = tenant
 	s.Bucket[id] = bucket
 	s.State[id] = ConnOpen
 }

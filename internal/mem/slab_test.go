@@ -22,11 +22,11 @@ func TestConnSlabHotBudget(t *testing.T) {
 	if s.FootprintBytes() != 1024*64 {
 		t.Fatalf("footprint %d", s.FootprintBytes())
 	}
-	s.Open(7, 3)
-	if s.State[7] != ConnOpen || s.Bucket[7] != 3 {
+	s.Open(7, 3, 42)
+	if s.State[7] != ConnOpen || s.Bucket[7] != 3 || s.Tenant[7] != 42 {
 		t.Fatal("Open did not mark the record")
 	}
-	if n := testing.AllocsPerRun(100, func() { s.Open(7, 3) }); n != 0 {
+	if n := testing.AllocsPerRun(100, func() { s.Open(7, 3, 42) }); n != 0 {
 		t.Fatalf("Open allocates %.1f/op", n)
 	}
 }

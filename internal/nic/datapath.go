@@ -41,7 +41,15 @@ func (n *NIC) dmaCost(c *Conn, ring *mem.Ring, index uint64, frameLen int, rx bo
 	if n.llc == nil {
 		return cost
 	}
-	descHit := n.llc.DMAAccess(ring.SlotAddr(index))
+	var descHit bool
+	if n.llc.Partitioned() {
+		// Per-tenant DDIO partition: this tenant's descriptor lines compete
+		// only inside its own ways, so a neighbor's ring footprint cannot
+		// evict them.
+		descHit = n.llc.DMAAccessTenant(ring.SlotAddr(index), c.Meta.Tenant)
+	} else {
+		descHit = n.llc.DMAAccess(ring.SlotAddr(index))
+	}
 	if descHit {
 		n.DMADescHit++
 	} else {
@@ -69,6 +77,7 @@ func stamp(c *Conn, p *packet.Packet, now sim.Time) {
 		p.Meta.Command = c.Meta.Command
 		p.Meta.CommandID = c.Meta.CommandID
 		p.Meta.ConnID = c.ID
+		p.Meta.Tenant = c.Meta.Tenant
 		p.Meta.TrustedMeta = c.Meta.TrustedMeta
 	}
 	p.Meta.Enqueued = now
@@ -149,6 +158,15 @@ func (n *NIC) drainTx(c *Conn) {
 		c.rlTokens -= float64(frame)
 	}
 
+	if n.tsched != nil {
+		// Tenant-scheduled dataplane: the descriptor fetch queues on the
+		// tenant's DMA DRR ring instead of FIFO at the engine; the drain
+		// chain resumes when the grant is served (tenant.go).
+		n.tsched.DMA.Request(grant{kind: reqTxFetch, c: c, p: p, index: index,
+			frame: frame, est: n.model.DMA(64 + frame), prod: d.Produced})
+		return
+	}
+
 	// Fetch descriptor + payload over PCIe. The fetch engine is pipelined:
 	// the next descriptor is fetched as soon as the DMA engine frees up,
 	// while this packet rides its own latency chain through the pipeline.
@@ -156,55 +174,69 @@ func (n *NIC) drainTx(c *Conn) {
 	n.eng.At(fetchDone, func() { n.drainTx(c) })
 	arrive := fetchDone.Add(n.model.DMALatency)
 
-	n.eng.At(arrive, func() {
-		now := n.eng.Now()
-		if n.Down(now) {
-			n.TxDropVerdict++ // dataplane outage: frame lost
+	n.eng.At(arrive, func() { n.txArrive(c, p, frame, d.Produced) })
+}
+
+// txArrive is the egress continuation once a fetched descriptor's payload has
+// crossed PCIe: outage check, metadata stamp, then the pipeline — directly on
+// the unscheduled path, via the tenant pipeline DRR on the scheduled one.
+func (n *NIC) txArrive(c *Conn, p *packet.Packet, frame int, produced sim.Time) {
+	now := n.eng.Now()
+	if n.Down(now) {
+		n.TxDropVerdict++ // dataplane outage: frame lost
+		n.txSlotFree()
+		return
+	}
+	stamp(c, p, produced)
+	if n.tsched != nil {
+		n.tsched.Pipe.Request(grant{kind: reqTxPipe, c: c, p: p, frame: frame,
+			est: n.pipeOccupancy(frame)})
+		return
+	}
+	_, pipeDone := n.pipeline.Acquire(now, n.pipeOccupancy(frame))
+	lat := sim.Duration(n.model.NICPipeline)
+	if n.egress != nil {
+		verdict, cycles, trap := n.egress.Run(p, env{n: n, now: now, c: c})
+		if trap != nil {
+			if n.tracer != nil {
+				n.trace(p, now, "nic", "trap_fallback", "pipeline=egress: "+trap.Error())
+			}
+			verdict, cycles = n.trapFallback(Egress, p, env{n: n, now: now, c: c})
+		}
+		lat += n.model.NICCycles(cycles)
+		if n.tracer != nil {
+			n.trace(p, now, "nic", "pipeline_egress", fmt.Sprintf("verdict=%v cycles=%d", verdict, cycles))
+		}
+		if verdict == overlay.VerdictDrop {
+			n.TxDropVerdict++
 			n.txSlotFree()
 			return
 		}
-		stamp(c, p, d.Produced)
-		_, pipeDone := n.pipeline.Acquire(now, n.pipeOccupancy(frame))
-		lat := sim.Duration(n.model.NICPipeline)
-		if n.egress != nil {
-			verdict, cycles, trap := n.egress.Run(p, env{n: n, now: now, c: c})
-			if trap != nil {
-				if n.tracer != nil {
-					n.trace(p, now, "nic", "trap_fallback", "pipeline=egress: "+trap.Error())
-				}
-				verdict, cycles = n.trapFallback(Egress, p, env{n: n, now: now, c: c})
-			}
-			lat += n.model.NICCycles(cycles)
-			if n.tracer != nil {
-				n.trace(p, now, "nic", "pipeline_egress", fmt.Sprintf("verdict=%v cycles=%d", verdict, cycles))
-			}
-			if verdict == overlay.VerdictDrop {
-				n.TxDropVerdict++
-				n.txSlotFree()
-				return
-			}
+	}
+	n.eng.At(pipeDone.Add(lat), func() { n.txEmit(c, p) })
+}
+
+// txEmit hands a pipeline-approved frame onward: TSO segmentation when
+// configured, otherwise straight to the scheduler/wire.
+func (n *NIC) txEmit(c *Conn, p *packet.Packet) {
+	// TSO: the pipeline cuts oversized TCP segments to wire MSS.
+	if c.tsoMSS > 0 && p.TCP != nil && p.PayloadLen > c.tsoMSS {
+		// The super-segment holds one staging slot but produces
+		// several wire frames, each of which releases one slot on
+		// its way out (directly or via the scheduler hand-off);
+		// pre-charge the difference so accounting balances.
+		nSegs := (p.PayloadLen + c.tsoMSS - 1) / c.tsoMSS
+		n.txInflight += nSegs - 1
+		for off := 0; off < p.PayloadLen; off += c.tsoMSS {
+			seg := p.Clone()
+			seg.TCP.Seq = p.TCP.Seq + uint32(off)
+			seg.PayloadLen = min(c.tsoMSS, p.PayloadLen-off)
+			seg.Payload = nil
+			n.sendToWire(seg, c)
 		}
-		n.eng.At(pipeDone.Add(lat), func() {
-			// TSO: the pipeline cuts oversized TCP segments to wire MSS.
-			if c.tsoMSS > 0 && p.TCP != nil && p.PayloadLen > c.tsoMSS {
-				// The super-segment holds one staging slot but produces
-				// several wire frames, each of which releases one slot on
-				// its way out (directly or via the scheduler hand-off);
-				// pre-charge the difference so accounting balances.
-				nSegs := (p.PayloadLen + c.tsoMSS - 1) / c.tsoMSS
-				n.txInflight += nSegs - 1
-				for off := 0; off < p.PayloadLen; off += c.tsoMSS {
-					seg := p.Clone()
-					seg.TCP.Seq = p.TCP.Seq + uint32(off)
-					seg.PayloadLen = min(c.tsoMSS, p.PayloadLen-off)
-					seg.Payload = nil
-					n.sendToWire(seg, c)
-				}
-				return
-			}
-			n.sendToWire(p, c)
-		})
-	})
+		return
+	}
+	n.sendToWire(p, c)
 }
 
 // txSlotFree releases one staging-buffer slot and resumes a stalled queue.
@@ -337,6 +369,10 @@ func (n *NIC) rxFrame(p *packet.Packet) {
 		}
 		n.trace(p, now, "nic", "rx_wire", fmt.Sprintf("len=%d", p.FrameLen()))
 	}
+	if n.tsched != nil {
+		n.rxFrameSched(p, now)
+		return
+	}
 	if n.rxInflight >= n.rxWindow {
 		n.RxFifoDrop++
 		n.trace(p, now, "nic", "rx_fifo_drop", "")
@@ -421,29 +457,79 @@ func (n *NIC) rxFrame(p *packet.Packet) {
 		now := n.eng.Now()
 		_, dmaDone := n.dma.Acquire(now, n.dmaCost(c, c.RX, index, p.FrameLen(), true))
 		visible := dmaDone.Add(n.model.DMALatency)
-		n.eng.At(visible, func() {
-			now := n.eng.Now()
-			n.rxInflight--
-			if err := c.RX.Push(mem.Desc{Pkt: p, Produced: p.Meta.Enqueued}); err != nil {
-				n.RxDropRing++
-				c.RxDropped++
-				if n.tracer != nil {
-					n.trace(p, now, "ring", "rx_drop_full", fmt.Sprintf("conn=%d", c.ID))
-				}
-				return
-			}
-			c.RxDelivered++
-			if n.tracer != nil {
-				n.trace(p, now, "ring", "rx_enqueue", fmt.Sprintf("conn=%d slot=%d", c.ID, index))
-			}
-			if c.NotifyRx {
-				n.pushNotify(c, mem.NotifyRxReady, now)
-			}
-			if n.OnRxDeliver != nil {
-				n.OnRxDeliver(c, now)
-			}
-		})
+		n.eng.At(visible, func() { n.rxComplete(c, p, index) })
 	})
+}
+
+// rxFrameSched is the tenant-scheduled ingress path: steer and stamp first —
+// tenant attribution decides whose FIFO share the frame occupies — then
+// charge that share, apply shedding/outage policy, and queue the frame on the
+// tenant's pipeline DRR ring.
+func (n *NIC) rxFrameSched(p *packet.Packet, now sim.Time) {
+	c := n.steer(p)
+	if c != nil {
+		stamp(c, p, now)
+	}
+	if !n.tsched.rxAdmit(p.Meta.Tenant) {
+		n.RxFifoDrop++
+		n.trace(p, now, "nic", "rx_fifo_drop", fmt.Sprintf("tenant=%d", p.Meta.Tenant))
+		return
+	}
+	if n.shedPolicy != nil && c != nil && n.shedPolicy(c, p) {
+		n.tsched.rxRelease(p.Meta.Tenant)
+		n.RxShed++
+		n.trace(p, now, "nic", "shed", fmt.Sprintf("conn=%d", c.ID))
+		return
+	}
+	if n.Down(now) {
+		n.tsched.rxRelease(p.Meta.Tenant)
+		n.RxOutageDrop++
+		if n.SlowPath != nil {
+			n.RxSlowPath++
+			n.SlowPath(p, now)
+		}
+		return
+	}
+	n.rxInflight++
+	if n.tap != nil {
+		n.tap.Offer(p, now)
+	}
+	n.tsched.Pipe.Request(grant{kind: reqRxPipe, c: c, p: p, frame: p.FrameLen(),
+		est: n.pipeOccupancy(p.FrameLen())})
+}
+
+// rxRelease returns the ingress FIFO slot(s) a frame held: the global
+// counter always, the owning tenant's share when the scheduler is installed.
+func (n *NIC) rxRelease(p *packet.Packet) {
+	n.rxInflight--
+	if n.tsched != nil {
+		n.tsched.rxRelease(p.Meta.Tenant)
+	}
+}
+
+// rxComplete finishes an RX DMA: the descriptor completion is host-visible,
+// so the frame either lands in the ring or becomes a counted ring drop.
+func (n *NIC) rxComplete(c *Conn, p *packet.Packet, index uint64) {
+	now := n.eng.Now()
+	n.rxRelease(p)
+	if err := c.RX.Push(mem.Desc{Pkt: p, Produced: p.Meta.Enqueued}); err != nil {
+		n.RxDropRing++
+		c.RxDropped++
+		if n.tracer != nil {
+			n.trace(p, now, "ring", "rx_drop_full", fmt.Sprintf("conn=%d", c.ID))
+		}
+		return
+	}
+	c.RxDelivered++
+	if n.tracer != nil {
+		n.trace(p, now, "ring", "rx_enqueue", fmt.Sprintf("conn=%d slot=%d", c.ID, index))
+	}
+	if c.NotifyRx {
+		n.pushNotify(c, mem.NotifyRxReady, now)
+	}
+	if n.OnRxDeliver != nil {
+		n.OnRxDeliver(c, now)
+	}
 }
 
 // steer resolves the destination connection for an inbound frame.

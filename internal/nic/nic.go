@@ -163,6 +163,11 @@ type NIC struct {
 	schedPump  bool
 	classifier func(*packet.Packet) uint32 // egress class assignment; nil = Meta.Class as-is
 
+	// tsched, when non-nil, schedules the pipeline and DMA servers across
+	// tenants by weighted deficit round robin and partitions the ingress
+	// FIFO per tenant (tenant.go). Nil keeps the historical FIFO dataplane.
+	tsched *TenantSched
+
 	// shedPolicy, when non-nil, is consulted for every steerable ingress
 	// frame before it consumes FIFO or DMA resources; returning true sheds
 	// the frame (counted in RxShed). The overload governor installs a

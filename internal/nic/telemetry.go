@@ -1,6 +1,10 @@
 package nic
 
-import "norman/internal/telemetry"
+import (
+	"fmt"
+
+	"norman/internal/telemetry"
+)
 
 // RegisterMetrics exposes the NIC's dataplane counters and SRAM occupancy
 // through a telemetry registry. The NIC keeps plain uint64 fields on the hot
@@ -43,4 +47,27 @@ func (n *NIC) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
 		labels, func() float64 { used, _ := n.SRAM(); return float64(used) })
 	r.Gauge(telemetry.Desc{Layer: "nic", Name: "sram_budget_bytes", Help: "total on-NIC SRAM budget", Unit: "bytes"},
 		labels, func() float64 { _, budget := n.SRAM(); return float64(budget) })
+
+	// Per-tenant scheduler accounting, one labeled series per tenant known
+	// to the scheduler at registration, in sorted tenant order.
+	if n.tsched != nil {
+		for _, st := range n.tsched.Stats() {
+			id := st.Tenant
+			tl := make(telemetry.Labels, len(labels)+1)
+			for k, v := range labels {
+				tl[k] = v
+			}
+			tl["tenant"] = fmt.Sprint(id)
+			r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_pipe_grants", Help: "pipeline slots granted to the tenant by the DRR scheduler", Unit: "grants"},
+				tl, func() uint64 { return n.tsched.statsFor(id).PipeGrants })
+			r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_dma_grants", Help: "DMA engine slots granted to the tenant by the DRR scheduler", Unit: "grants"},
+				tl, func() uint64 { return n.tsched.statsFor(id).DMAGrants })
+			r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_pipe_work_ns", Help: "pipeline occupancy consumed by the tenant", Unit: "ns"},
+				tl, func() uint64 { return uint64(n.tsched.statsFor(id).PipeWork) })
+			r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_dma_work_ns", Help: "DMA engine occupancy consumed by the tenant", Unit: "ns"},
+				tl, func() uint64 { return uint64(n.tsched.statsFor(id).DMAWork) })
+			r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_fifo_drops", Help: "ingress frames dropped at the tenant's FIFO share", Unit: "frames"},
+				tl, func() uint64 { return n.tsched.statsFor(id).RxFifoDrops })
+		}
+	}
 }

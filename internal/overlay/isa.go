@@ -201,6 +201,12 @@ func (v Verdict) String() string {
 	return "pass"
 }
 
+// CycleBound returns the program's verified worst-case per-packet cycle
+// count. The verifier enforces forward-only control flow, so no instruction
+// executes more than once per packet and the instruction count is a sound
+// bound. The overload governor's AdmitProgram gates installation on it.
+func (p *Program) CycleBound() int { return len(p.Code) }
+
 // SRAMBytes estimates the on-NIC memory the program's state consumes:
 // 16 bytes per exact-match table slot, 32 per meter, 8 per counter, plus
 // 8 bytes per instruction of program store. Experiment E5 uses this to model

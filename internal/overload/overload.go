@@ -26,6 +26,7 @@ package overload
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"norman/internal/cache"
 	"norman/internal/nic"
@@ -52,6 +53,19 @@ const (
 	// ResourceIngressFIFO: the watchdog is in the saturated state — the NIC
 	// is already dropping, so new connections are refused until it clears.
 	ResourceIngressFIFO Resource = "ingress_fifo"
+	// ResourceTenantDDIO: the tenant's own slice of the descriptor budget
+	// (its weight share of the DDIO capacity) is full — the neighborly
+	// version of ResourceRingDDIO.
+	ResourceTenantDDIO Resource = "tenant_ddio"
+	// ResourceTenantThrottle: the tenant's private health machine is
+	// saturated — *its* rings are overflowing or *its* FIFO share is
+	// dropping — so its connection setups are refused until it calms, while
+	// other tenants keep dialing.
+	ResourceTenantThrottle Resource = "tenant_throttle"
+	// ResourceProgramCycles: the overlay program's verified worst-case
+	// per-packet cycle bound exceeds what the tenant may impose on the
+	// shared pipeline.
+	ResourceProgramCycles Resource = "program_cycles"
 )
 
 // AdmissionError is the typed rejection: which resource, which tenant, and
@@ -116,6 +130,16 @@ type Config struct {
 	// the sampling frequency.
 	EscalateAfter int
 	ClearAfter    int
+	// TenantWeights, when non-nil, turns on per-tenant isolation accounting:
+	// the ring/DDIO budget is split across the listed tenants in proportion
+	// to their weights (mirroring the NIC scheduler's weights), and each
+	// tenant gets a private health machine with the same hysteresis as the
+	// global watchdog — a tenant that saturates its own share is throttled
+	// with typed errors while its neighbors keep dialing.
+	TenantWeights map[uint32]int
+	// MaxProgramCycles caps the verified worst-case per-packet cycle bound
+	// of overlay programs tenants may install (AdmitProgram). 0 = unlimited.
+	MaxProgramCycles int
 }
 
 func (c Config) ddioShare() float64 {
@@ -186,14 +210,36 @@ type Governor struct {
 	subs   []func(pressured bool)
 	tracer *telemetry.Tracer
 
+	// Per-tenant isolation accounting (Config.TenantWeights). tenantOrder
+	// keeps every iteration — sampling, snapshots, metrics — in ascending
+	// tenant order so no map-range order ever leaks into output.
+	tenants     map[uint32]*tenantGov
+	tenantOrder []uint32
+
 	// Counters (exported via RegisterMetrics).
-	admitted       uint64
-	rejectedDDIO   uint64
-	rejectedTenant uint64
-	rejectedLoad   uint64
-	transitions    uint64
-	signals        uint64
-	shedPkts       uint64
+	admitted         uint64
+	rejectedDDIO     uint64
+	rejectedTenant   uint64
+	rejectedLoad     uint64
+	rejectedThrottle uint64
+	rejectedProgram  uint64
+	transitions      uint64
+	signals          uint64
+	shedPkts         uint64
+}
+
+// tenantGov is one tenant's private budget and health machine.
+type tenantGov struct {
+	tenant     uint32
+	weight     int
+	ringBytes  int
+	ringBudget int // weight share of the governor budget; 0 = unlimited
+
+	state       State
+	hotStreak   int
+	calmStreak  int
+	lastDrops   uint64
+	transitions uint64
 }
 
 // NewGovernor builds a governor over the NIC. llc supplies the DDIO budget;
@@ -208,7 +254,44 @@ func NewGovernor(eng *sim.Engine, n *nic.NIC, llc *cache.LLC, cfg Config) *Gover
 	if llc != nil {
 		g.ringBudget = int(cfg.ddioShare() * float64(llc.DDIOBytes()))
 	}
+	if len(cfg.TenantWeights) > 0 {
+		g.ConfigureTenants(cfg.TenantWeights)
+	}
 	return g
+}
+
+// ConfigureTenants (re)installs per-tenant isolation accounting: the ring
+// budget is split weight-proportionally across the listed tenants and each
+// gets a fresh health machine. Existing per-tenant charges are preserved for
+// tenants that survive the reconfiguration.
+func (g *Governor) ConfigureTenants(weights map[uint32]int) {
+	ids := make([]uint32, 0, len(weights))
+	total := 0
+	for id, w := range weights {
+		if w < 1 {
+			w = 1
+		}
+		total += w
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	prev := g.tenants
+	g.tenants = make(map[uint32]*tenantGov, len(ids))
+	g.tenantOrder = ids
+	for _, id := range ids {
+		w := weights[id]
+		if w < 1 {
+			w = 1
+		}
+		tg := &tenantGov{tenant: id, weight: w}
+		if old, ok := prev[id]; ok {
+			tg.ringBytes = old.ringBytes
+		}
+		if g.ringBudget > 0 && total > 0 {
+			tg.ringBudget = g.ringBudget * w / total
+		}
+		g.tenants[id] = tg
+	}
 }
 
 // SetTracer attaches a tracer; state transitions then emit "pressure" spans.
@@ -249,13 +332,42 @@ func (g *Governor) AdmitConn(tenant uint32) error {
 		return &AdmissionError{Resource: ResourceIngressFIFO, Tenant: tenant, Used: used, Budget: capacity}
 	}
 	cost := g.connCost()
+	tg := g.tenants[tenant]
+	if tg != nil {
+		if tg.state == StateSaturated {
+			g.rejectedThrottle++
+			used, capacity, _ := g.nic.TenantRxOccupancy(tenant)
+			return &AdmissionError{Resource: ResourceTenantThrottle, Tenant: tenant, Used: used, Budget: capacity}
+		}
+		if tg.ringBudget > 0 && tg.ringBytes+cost > tg.ringBudget {
+			g.rejectedDDIO++
+			return &AdmissionError{Resource: ResourceTenantDDIO, Tenant: tenant, Used: tg.ringBytes + cost, Budget: tg.ringBudget}
+		}
+	}
 	if g.ringBudget > 0 && g.ringBytes+cost > g.ringBudget {
 		g.rejectedDDIO++
 		return &AdmissionError{Resource: ResourceRingDDIO, Tenant: tenant, Used: g.ringBytes + cost, Budget: g.ringBudget}
 	}
 	g.tenantConns[tenant]++
 	g.ringBytes += cost
+	if tg != nil {
+		tg.ringBytes += cost
+	}
 	g.admitted++
+	return nil
+}
+
+// AdmitProgram gates overlay-program installation the way AdmitConn gates
+// connection setup: the kernel refuses a tenant's program when its verified
+// worst-case per-packet cycle bound exceeds MaxProgramCycles. This is the
+// interposition the paper argues for — in a bypass world nothing stands
+// between a tenant and the shared pipeline, so an overlay-heavy neighbor
+// taxes every packet on the NIC.
+func (g *Governor) AdmitProgram(tenant uint32, cycleBound int) error {
+	if max := g.cfg.MaxProgramCycles; max > 0 && cycleBound > max {
+		g.rejectedProgram++
+		return &AdmissionError{Resource: ResourceProgramCycles, Tenant: tenant, Used: cycleBound, Budget: max}
+	}
 	return nil
 }
 
@@ -269,6 +381,9 @@ func (g *Governor) ReleaseConn(tenant uint32) {
 	}
 	if g.ringBytes >= g.connCost() {
 		g.ringBytes -= g.connCost()
+	}
+	if tg := g.tenants[tenant]; tg != nil && tg.ringBytes >= g.connCost() {
+		tg.ringBytes -= g.connCost()
 	}
 }
 
@@ -392,6 +507,72 @@ func (g *Governor) sample(now sim.Time) {
 		g.hotStreak = 0
 		g.calmStreak = 0
 	}
+
+	// Per-tenant health machines, in sorted tenant order: each tenant is
+	// judged only by its own rings and its own FIFO-share drops, through the
+	// same escalate/clear hysteresis as the global watchdog.
+	for _, id := range g.tenantOrder {
+		g.sampleTenant(g.tenants[id], now, hi, lo)
+	}
+}
+
+func (g *Governor) sampleTenant(tg *tenantGov, now sim.Time, hi, lo float64) {
+	used, capacity, overHigh := g.nic.TenantRxOccupancy(tg.tenant)
+	var occ float64
+	if capacity > 0 {
+		occ = float64(used) / float64(capacity)
+	}
+	drops := g.nic.TenantFifoDrops(tg.tenant)
+	delta := drops - tg.lastDrops
+	tg.lastDrops = drops
+
+	budgetFull := tg.ringBudget > 0 && tg.ringBytes+g.connCost() > tg.ringBudget
+	var raw State
+	switch {
+	case delta > 0:
+		raw = StateSaturated
+	case occ >= hi || overHigh > 0 || budgetFull:
+		raw = StatePressured
+	default:
+		raw = StateOK
+	}
+
+	switch {
+	case raw > tg.state:
+		tg.hotStreak++
+		tg.calmStreak = 0
+		if tg.hotStreak >= g.cfg.escalateAfter() {
+			g.setTenantState(tg, tg.state+1, now)
+			tg.hotStreak = 0
+		}
+	case raw < tg.state && occ <= lo && delta == 0 && !budgetFull:
+		tg.calmStreak++
+		tg.hotStreak = 0
+		if tg.calmStreak >= g.cfg.clearAfter() {
+			g.setTenantState(tg, tg.state-1, now)
+			tg.calmStreak = 0
+		}
+	default:
+		tg.hotStreak = 0
+		tg.calmStreak = 0
+	}
+}
+
+// setTenantState commits one tenant's health transition, emitting a
+// "throttle" span under the "tenant" layer so traces show who was squeezed
+// and when.
+func (g *Governor) setTenantState(tg *tenantGov, s State, now sim.Time) {
+	if s == tg.state {
+		return
+	}
+	prev := tg.state
+	tg.state = s
+	tg.transitions++
+	if g.tracer != nil {
+		id := g.tracer.StampID()
+		g.tracer.Record(id, now, "tenant", "throttle",
+			fmt.Sprintf("tenant=%d %s->%s", tg.tenant, prev, s))
+	}
 }
 
 // setState commits a transition: count it, emit a trace span, and notify
@@ -419,45 +600,130 @@ func (g *Governor) setState(s State, now sim.Time) {
 // Snapshot is the governor's externally visible state, served over the
 // overload.status ctl op and printed by nnetstat -pressure.
 type Snapshot struct {
-	State          string  `json:"state"`
-	Transitions    uint64  `json:"transitions"`
-	Admitted       uint64  `json:"admitted"`
-	RejectedDDIO   uint64  `json:"rejected_ddio"`
-	RejectedTenant uint64  `json:"rejected_tenant"`
-	RejectedLoad   uint64  `json:"rejected_pressure"`
-	RingBytes      int     `json:"ring_bytes"`
-	RingBudget     int     `json:"ring_budget_bytes"`
-	Occupancy      float64 `json:"occupancy_frac"`
-	FifoFrac       float64 `json:"fifo_frac"`
-	ShedPackets    uint64  `json:"shed_packets"`
-	Signals        uint64  `json:"backpressure_signals"`
-	Watching       bool    `json:"watching"`
+	State            string  `json:"state"`
+	Transitions      uint64  `json:"transitions"`
+	Admitted         uint64  `json:"admitted"`
+	RejectedDDIO     uint64  `json:"rejected_ddio"`
+	RejectedTenant   uint64  `json:"rejected_tenant"`
+	RejectedLoad     uint64  `json:"rejected_pressure"`
+	RejectedThrottle uint64  `json:"rejected_throttle"`
+	RejectedProgram  uint64  `json:"rejected_program"`
+	RingBytes        int     `json:"ring_bytes"`
+	RingBudget       int     `json:"ring_budget_bytes"`
+	Occupancy        float64 `json:"occupancy_frac"`
+	FifoFrac         float64 `json:"fifo_frac"`
+	ShedPackets      uint64  `json:"shed_packets"`
+	Signals          uint64  `json:"backpressure_signals"`
+	Watching         bool    `json:"watching"`
+
+	// Tenants lists per-tenant accounting in ascending tenant id order —
+	// always sorted, so snapshots, metrics dumps and ctl output are
+	// deterministic run to run.
+	Tenants []TenantSnapshot `json:"tenants,omitempty"`
+}
+
+// TenantSnapshot is one tenant's row of the governor snapshot.
+type TenantSnapshot struct {
+	Tenant      uint32 `json:"tenant"`
+	Weight      int    `json:"weight"`
+	Conns       int    `json:"conns"`
+	RingBytes   int    `json:"ring_bytes"`
+	RingBudget  int    `json:"ring_budget_bytes"`
+	State       string `json:"state"`
+	Transitions uint64 `json:"transitions"`
+	FifoDrops   uint64 `json:"fifo_drops"`
+}
+
+// sortedTenantIDs returns the union of configured tenants and tenants that
+// merely hold connections, ascending. Snapshot and metrics iterate this —
+// never the maps directly — so map-range order cannot leak into output.
+func (g *Governor) sortedTenantIDs() []uint32 {
+	seen := make(map[uint32]bool, len(g.tenantOrder)+len(g.tenantConns))
+	ids := make([]uint32, 0, len(g.tenantOrder)+len(g.tenantConns))
+	for _, id := range g.tenantOrder {
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	for id := range g.tenantConns {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TenantSnapshots returns per-tenant accounting rows in ascending tenant
+// order.
+func (g *Governor) TenantSnapshots() []TenantSnapshot {
+	ids := g.sortedTenantIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]TenantSnapshot, 0, len(ids))
+	for _, id := range ids {
+		row := TenantSnapshot{
+			Tenant:    id,
+			Weight:    1,
+			Conns:     g.tenantConns[id],
+			State:     StateOK.String(),
+			FifoDrops: g.nic.TenantFifoDrops(id),
+		}
+		if tg, ok := g.tenants[id]; ok {
+			row.Weight = tg.weight
+			row.RingBytes = tg.ringBytes
+			row.RingBudget = tg.ringBudget
+			row.State = tg.state.String()
+			row.Transitions = tg.transitions
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// TenantState returns one tenant's health state (StateOK when the tenant has
+// no private machine).
+func (g *Governor) TenantState(tenant uint32) State {
+	if tg, ok := g.tenants[tenant]; ok {
+		return tg.state
+	}
+	return StateOK
 }
 
 // Snapshot captures the current state for the control plane.
 func (g *Governor) Snapshot() Snapshot {
 	occ, fifo, _ := g.occupancy()
 	return Snapshot{
-		State:          g.state.String(),
-		Transitions:    g.transitions,
-		Admitted:       g.admitted,
-		RejectedDDIO:   g.rejectedDDIO,
-		RejectedTenant: g.rejectedTenant,
-		RejectedLoad:   g.rejectedLoad,
-		RingBytes:      g.ringBytes,
-		RingBudget:     g.ringBudget,
-		Occupancy:      occ,
-		FifoFrac:       fifo,
-		ShedPackets:    g.shedPkts,
-		Signals:        g.signals,
-		Watching:       g.running,
+		State:            g.state.String(),
+		Transitions:      g.transitions,
+		Admitted:         g.admitted,
+		RejectedDDIO:     g.rejectedDDIO,
+		RejectedTenant:   g.rejectedTenant,
+		RejectedLoad:     g.rejectedLoad,
+		RejectedThrottle: g.rejectedThrottle,
+		RejectedProgram:  g.rejectedProgram,
+		RingBytes:        g.ringBytes,
+		RingBudget:       g.ringBudget,
+		Occupancy:        occ,
+		FifoFrac:         fifo,
+		ShedPackets:      g.shedPkts,
+		Signals:          g.signals,
+		Watching:         g.running,
+		Tenants:          g.TenantSnapshots(),
 	}
 }
 
 // Rejected returns the total typed admission rejections across resources.
 func (g *Governor) Rejected() uint64 {
-	return g.rejectedDDIO + g.rejectedTenant + g.rejectedLoad
+	return g.rejectedDDIO + g.rejectedTenant + g.rejectedLoad + g.rejectedThrottle + g.rejectedProgram
 }
+
+// RejectedThrottled returns admissions refused by per-tenant throttles.
+func (g *Governor) RejectedThrottled() uint64 { return g.rejectedThrottle }
+
+// RejectedPrograms returns overlay programs refused by the cycle-bound gate.
+func (g *Governor) RejectedPrograms() uint64 { return g.rejectedProgram }
 
 // ShedPackets returns frames dropped by the installed shed policy.
 func (g *Governor) ShedPackets() uint64 { return g.shedPkts }

@@ -2,6 +2,7 @@ package overload
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"norman/internal/arch"
@@ -279,4 +280,70 @@ func TestShedPolicy(t *testing.T) {
 		t.Fatalf("no shedding after recovery: %d", w.NIC.RxShed)
 	}
 	g.Stop()
+}
+
+// TestTenantSnapshotOrder pins the determinism contract on every per-tenant
+// surface: TenantSnapshots, Snapshot and the metric registration walk
+// sortedTenantIDs — never the tenant maps directly — so rows come out in
+// ascending tenant order regardless of map insertion history, and repeated
+// snapshots of unchanged state are identical.
+func TestTenantSnapshotOrder(t *testing.T) {
+	_, w := newWorld(t)
+	g := NewGovernor(w.Eng, w.NIC, w.LLC, Config{
+		DDIOShare:     0.5,
+		TenantWeights: map[uint32]int{9: 1, 3: 7, 27: 2, 1: 4},
+	})
+	// Tenants 14 and 5 hold connections without being configured: they must
+	// appear in the snapshot union, still in ascending order.
+	for _, id := range []uint32{14, 5, 3} {
+		if err := g.AdmitConn(id); err != nil {
+			t.Fatalf("admit tenant %d: %v", id, err)
+		}
+	}
+
+	rows := g.TenantSnapshots()
+	want := []uint32{1, 3, 5, 9, 14, 27}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d tenant rows, want %d", len(rows), len(want))
+	}
+	for i, row := range rows {
+		if row.Tenant != want[i] {
+			t.Fatalf("row %d is tenant %d, want %d (rows must be ascending)", i, row.Tenant, want[i])
+		}
+	}
+	// Configured tenants carry their weight; ad-hoc tenants default to 1.
+	if rows[1].Weight != 7 || rows[1].Conns != 1 {
+		t.Fatalf("tenant 3: weight %d conns %d, want 7/1", rows[1].Weight, rows[1].Conns)
+	}
+	if rows[2].Weight != 1 || rows[2].Conns != 1 {
+		t.Fatalf("tenant 5: weight %d conns %d, want 1/1", rows[2].Weight, rows[2].Conns)
+	}
+
+	// Repeated snapshots of unchanged state must be byte-identical, and the
+	// full Snapshot must embed the same rows.
+	for i := 0; i < 8; i++ {
+		again := g.TenantSnapshots()
+		if !reflect.DeepEqual(rows, again) {
+			t.Fatalf("snapshot %d differs:\n%+v\n%+v", i, rows, again)
+		}
+	}
+	if snap := g.Snapshot(); !reflect.DeepEqual(snap.Tenants, rows) {
+		t.Fatalf("Snapshot().Tenants differs from TenantSnapshots():\n%+v\n%+v", snap.Tenants, rows)
+	}
+
+	// Reconfiguration keeps surviving tenants' charges and stays sorted.
+	g.ConfigureTenants(map[uint32]int{27: 1, 3: 2})
+	rows = g.TenantSnapshots()
+	want = []uint32{3, 5, 14, 27}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows after reconfigure, want %d", len(rows), len(want))
+	}
+	for i, row := range rows {
+		if row.Tenant != want[i] {
+			t.Fatalf("row %d is tenant %d, want %d after reconfigure", i, row.Tenant, want[i])
+		}
+	}
+	if rows[0].RingBytes == 0 {
+		t.Fatal("tenant 3's ring charge must survive reconfiguration")
+	}
 }

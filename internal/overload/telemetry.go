@@ -1,6 +1,10 @@
 package overload
 
-import "norman/internal/telemetry"
+import (
+	"fmt"
+
+	"norman/internal/telemetry"
+)
 
 // RegisterMetrics exposes the governor's admission budgets, watchdog state
 // and degradation counters on a registry under the "overload" layer. All
@@ -29,4 +33,31 @@ func (g *Governor) RegisterMetrics(r *telemetry.Registry, labels telemetry.Label
 		labels, func() float64 { return float64(g.ringBudget) })
 	r.Gauge(telemetry.Desc{Layer: "overload", Name: "occupancy_frac", Help: "aggregate RX ring occupancy fraction at render time", Unit: "fraction"},
 		labels, func() float64 { occ, _, _ := g.occupancy(); return occ })
+	r.Counter(telemetry.Desc{Layer: "overload", Name: "rejected_throttle", Help: "admissions rejected while the tenant's private health machine was saturated", Unit: "conns"},
+		labels, func() uint64 { return g.rejectedThrottle })
+	r.Counter(telemetry.Desc{Layer: "overload", Name: "rejected_program", Help: "overlay programs refused by the per-tenant cycle-bound gate", Unit: "programs"},
+		labels, func() uint64 { return g.rejectedProgram })
+
+	// Per-tenant isolation accounting, one labeled series per configured
+	// tenant, registered in sorted tenant order.
+	for _, id := range g.tenantOrder {
+		id := id
+		tl := make(telemetry.Labels, len(labels)+1)
+		for k, v := range labels {
+			tl[k] = v
+		}
+		tl["tenant"] = fmt.Sprint(id)
+		r.Gauge(telemetry.Desc{Layer: "tenant", Name: "conns", Help: "connections the tenant currently holds admitted", Unit: "conns"},
+			tl, func() float64 { return float64(g.tenantConns[id]) })
+		r.Gauge(telemetry.Desc{Layer: "tenant", Name: "ring_bytes", Help: "descriptor bytes charged against the tenant's budget share", Unit: "bytes"},
+			tl, func() float64 { return float64(g.tenants[id].ringBytes) })
+		r.Gauge(telemetry.Desc{Layer: "tenant", Name: "ring_budget_bytes", Help: "the tenant's weight share of the descriptor budget (0 = unlimited)", Unit: "bytes"},
+			tl, func() float64 { return float64(g.tenants[id].ringBudget) })
+		r.Gauge(telemetry.Desc{Layer: "tenant", Name: "state", Help: "tenant health state (0=ok 1=pressured 2=saturated)", Unit: "state"},
+			tl, func() float64 { return float64(g.tenants[id].state) })
+		r.Counter(telemetry.Desc{Layer: "tenant", Name: "throttle_transitions", Help: "tenant health-machine transitions", Unit: "transitions"},
+			tl, func() uint64 { return g.tenants[id].transitions })
+		r.Counter(telemetry.Desc{Layer: "tenant", Name: "fifo_drops", Help: "ingress frames dropped at the tenant's FIFO share", Unit: "frames"},
+			tl, func() uint64 { return g.nic.TenantFifoDrops(id) })
+	}
 }

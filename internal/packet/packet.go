@@ -132,6 +132,13 @@ type Meta struct {
 	ConnID    uint64 // owning connection, 0 if none
 	Mark      uint32 // firewall mark set by interposition
 	Class     uint32 // qdisc class assigned by interposition
+	// Tenant is the isolation domain the packet's connection belongs to —
+	// the unit the NIC's weighted pipeline/DMA scheduler and the per-tenant
+	// DDIO partition account against. Assigned by the kernel at connection
+	// setup (kernel.TenantOf, defaulting to the owning UID) and stamped by
+	// the NIC from the connection context, like the rest of the trusted
+	// metadata. 0 is the unattributed/system tenant.
+	Tenant uint32
 
 	Enqueued sim.Time // when the app produced / NIC received the packet
 	// Trace is the packet-lifecycle trace ID assigned at the packet's first

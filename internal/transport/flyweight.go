@@ -13,9 +13,10 @@ import (
 // as free functions over the slab so the receive path stays allocation-free
 // and a record never leaves its RSS bucket's shard.
 
-// FlyweightOpen admits a connection into a bucket and resets its record.
-func FlyweightOpen(s *mem.ConnSlab, id int, bucket uint16) {
-	s.Open(id, bucket)
+// FlyweightOpen admits a connection into a bucket for a tenant and resets
+// its record.
+func FlyweightOpen(s *mem.ConnSlab, id int, bucket uint16, tenant uint32) {
+	s.Open(id, bucket, tenant)
 }
 
 // FlyweightTx returns the connection's next send sequence and advances it.

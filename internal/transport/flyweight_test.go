@@ -11,7 +11,10 @@ import (
 // advance, forward gap acceptance, duplicate drop, closed-state drop.
 func TestFlyweightRx(t *testing.T) {
 	s := mem.NewConnSlab(4, 0)
-	FlyweightOpen(s, 1, 9)
+	FlyweightOpen(s, 1, 9, 2)
+	if s.Tenant[1] != 2 {
+		t.Fatal("open did not record the tenant")
+	}
 
 	if !FlyweightRx(s, 1, 0, 100, sim.Time(10)) {
 		t.Fatal("in-order packet refused")
@@ -45,7 +48,7 @@ func TestFlyweightRx(t *testing.T) {
 // TestFlyweightTx checks sequence sourcing.
 func TestFlyweightTx(t *testing.T) {
 	s := mem.NewConnSlab(2, 0)
-	FlyweightOpen(s, 0, 0)
+	FlyweightOpen(s, 0, 0, 0)
 	for want := uint32(0); want < 3; want++ {
 		if got := FlyweightTx(s, 0); got != want {
 			t.Fatalf("tx seq = %d, want %d", got, want)
@@ -59,7 +62,7 @@ func TestFlyweightTx(t *testing.T) {
 // TestFlyweightZeroAlloc pins the receive hot path at zero allocations.
 func TestFlyweightZeroAlloc(t *testing.T) {
 	s := mem.NewConnSlab(8, 0)
-	FlyweightOpen(s, 0, 0)
+	FlyweightOpen(s, 0, 0, 0)
 	seq := uint32(0)
 	if n := testing.AllocsPerRun(1000, func() {
 		FlyweightRx(s, 0, seq, 256, sim.Time(seq))

@@ -48,6 +48,11 @@ func populateFullRegistry(t *testing.T) *telemetry.Registry {
 	sys := norman.New(norman.KOPI)
 	sys.EnableRecovery()                  // before EnableTelemetry so recovery.* metrics register
 	sys.EnableOverload(overload.Config{}) // likewise for overload.* metrics
+	// Tenant isolation before EnableTelemetry so the per-tenant gauges and
+	// the NIC scheduler's tenant counters register.
+	if err := sys.EnableTenantIsolation(map[uint32]int{1: 3, 2: 1}); err != nil {
+		t.Fatal(err)
+	}
 	reg := sys.EnableTelemetry()
 	w := sys.World()
 

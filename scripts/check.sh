@@ -53,6 +53,11 @@ NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E10|Recovery|J
 # cross-subsystem chaos soak must be byte-identical sequentially and at any
 # pool width.
 NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E11|Overload|Watchdog|Watermark|Chaos' ./internal/experiments/... ./internal/overload/... ./internal/transport/... ./internal/mem/... .
+# Tenant-isolation determinism under race at the same non-default seed: the
+# E13 table (weighted scheduling, DDIO partitioning, per-tenant governor) and
+# the adversarial-tenant chaos soak must be byte-identical sequentially and
+# at any pool width.
+NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E13|Tenant' ./internal/experiments/... ./internal/nic/... ./internal/cache/... ./internal/overload/... ./internal/ctl/... .
 # Sharded-engine determinism under race: the E12 table and the barrier
 # coordinator's merge order must be byte-identical at any shard count
 # (DESIGN.md §8), with the lockstep worker goroutines under the detector.
@@ -153,6 +158,13 @@ grep -q 8888 "$tmp/rec2.rules"
 "$tmp/nnetstat" -socket "$tmp/rec.sock" -pressure | tee "$tmp/pressure.out"
 grep -q "watchdog: ok" "$tmp/pressure.out"
 grep -q "admission:" "$tmp/pressure.out"
+
+# Tenant smoke: the live daemon runs weighted tenant isolation over the demo
+# users, so -tenants must print one merged row per tenant and exit 0.
+"$tmp/nnetstat" -socket "$tmp/rec.sock" -tenants | tee "$tmp/tenants.out"
+grep -q "tenants: 2 under weighted isolation" "$tmp/tenants.out"
+grep -q "tenant 1 (weight 3)" "$tmp/tenants.out"
+grep -q "tenant 2 (weight 1)" "$tmp/tenants.out"
 kill "$daemon_pid"
 
 # E12 shard-determinism smoke: the same sweep on 1 engine and on 8 lockstep
@@ -162,6 +174,12 @@ go build -race -o "$tmp/kopibench" ./cmd/kopibench
 "$tmp/kopibench" -e E12 -scale 0.002 -shards 1 | grep -v '^\(===\|---\)' >"$tmp/e12.shards1"
 "$tmp/kopibench" -e E12 -scale 0.002 -shards 8 | grep -v '^\(===\|---\)' >"$tmp/e12.shards8"
 diff "$tmp/e12.shards1" "$tmp/e12.shards8"
+
+# E13 shard-determinism smoke: the isolation table is also an invariant of
+# the execution layout — 1 engine vs 2 lockstep shards, byte-identical.
+"$tmp/kopibench" -e E13 -scale 0.12 -shards 1 | grep -v '^\(===\|---\)' >"$tmp/e13.shards1"
+"$tmp/kopibench" -e E13 -scale 0.12 -shards 2 | grep -v '^\(===\|---\)' >"$tmp/e13.shards2"
+diff "$tmp/e13.shards1" "$tmp/e13.shards2"
 
 # Sharded-daemon smoke: a daemon running its world on 4 engine shards must
 # serve the engine.shards op with per-shard rows through nnetstat -shards.

@@ -1,0 +1,172 @@
+package norman
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TenantStatus is one tenant's combined isolation state: scheduler grants,
+// DDIO partition counters, and governor accounting, merged for ctl and
+// nnetstat. Fields that a disabled layer cannot fill stay zero.
+type TenantStatus struct {
+	Tenant      uint32 `json:"tenant"`
+	Weight      int    `json:"weight"`
+	PipeGrants  uint64 `json:"pipe_grants"`
+	DMAGrants   uint64 `json:"dma_grants"`
+	FifoDrops   uint64 `json:"fifo_drops"`
+	DDIOWays    int    `json:"ddio_ways"`
+	DDIOHits    uint64 `json:"ddio_hits"`
+	DDIOMisses  uint64 `json:"ddio_misses"`
+	Conns       int    `json:"conns"`
+	RingBytes   int    `json:"ring_bytes"`
+	RingBudget  int    `json:"ring_budget_bytes"`
+	State       string `json:"state"`
+	Transitions uint64 `json:"transitions"`
+}
+
+// EnableTenantIsolation turns on multi-tenant performance isolation across
+// the whole dataplane: the NIC's pipeline and DMA engine are scheduled by
+// weighted deficit round-robin over the given tenants, the LLC's DDIO ways
+// are partitioned among them in proportion to weight (largest remainder,
+// at least one way each), and — if the overload governor is enabled — its
+// descriptor budget is split into per-tenant shares with private health
+// machines. Weights must be positive; calling again replaces the previous
+// configuration. The mapping from users to tenants is set with
+// AssignTenant; unassigned users are their own tenant (tenant id = uid).
+func (s *System) EnableTenantIsolation(weights map[uint32]int) error {
+	if len(weights) == 0 {
+		return fmt.Errorf("norman: tenant isolation needs at least one tenant weight")
+	}
+	for id, w := range weights {
+		if w <= 0 {
+			return fmt.Errorf("norman: tenant %d weight %d (must be positive)", id, w)
+		}
+	}
+	if s.w.LLC != nil {
+		if ways := s.w.LLC.DDIOWays(); ways > 0 {
+			shares, err := splitWays(weights, ways)
+			if err != nil {
+				return err
+			}
+			if err := s.w.LLC.PartitionDDIO(shares); err != nil {
+				return err
+			}
+		}
+	}
+	s.w.NIC.SetTenantScheduler(weights)
+	if s.gov != nil {
+		s.gov.ConfigureTenants(weights)
+	}
+	return nil
+}
+
+// AssignTenant maps a user to a tenant for isolation accounting. Every
+// packet the kernel attributes to the user carries the tenant id through
+// the dataplane. Tenant 0 clears the mapping (the user reverts to being
+// its own tenant).
+func (s *System) AssignTenant(u *User, tenant uint32) {
+	s.w.Kern.AssignTenant(u.UID, tenant)
+}
+
+// TenantIsolationEnabled reports whether the NIC's tenant scheduler is
+// installed.
+func (s *System) TenantIsolationEnabled() bool {
+	return s.w.NIC.TenantScheduler() != nil
+}
+
+// TenantsStatus merges the scheduler, cache and governor views into one
+// row per tenant, in ascending tenant order. Nil when isolation is off.
+func (s *System) TenantsStatus() []TenantStatus {
+	ts := s.w.NIC.TenantScheduler()
+	if ts == nil {
+		return nil
+	}
+	rows := make(map[uint32]*TenantStatus)
+	order := []uint32{}
+	row := func(id uint32) *TenantStatus {
+		if r, ok := rows[id]; ok {
+			return r
+		}
+		r := &TenantStatus{Tenant: id}
+		rows[id] = r
+		order = append(order, id)
+		return r
+	}
+	for _, st := range ts.Stats() {
+		r := row(st.Tenant)
+		r.Weight = st.Weight
+		r.PipeGrants = st.PipeGrants
+		r.DMAGrants = st.DMAGrants
+		r.FifoDrops = st.RxFifoDrops
+	}
+	if s.w.LLC != nil {
+		for _, cs := range s.w.LLC.TenantDMAStats() {
+			r := row(cs.Tenant)
+			r.DDIOWays = cs.Ways
+			r.DDIOHits = cs.Hits
+			r.DDIOMisses = cs.Misses
+		}
+	}
+	if s.gov != nil {
+		for _, gs := range s.gov.TenantSnapshots() {
+			r := row(gs.Tenant)
+			r.Conns = gs.Conns
+			r.RingBytes = gs.RingBytes
+			r.RingBudget = gs.RingBudget
+			r.State = gs.State
+			r.Transitions = gs.Transitions
+			if gs.FifoDrops > r.FifoDrops {
+				r.FifoDrops = gs.FifoDrops
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]TenantStatus, 0, len(order))
+	for _, id := range order {
+		out = append(out, *rows[id])
+	}
+	return out
+}
+
+// splitWays divides `ways` cache ways among tenants in proportion to their
+// weights: every tenant gets at least one way, the rest go by largest
+// remainder (ties broken by ascending tenant id, so the split is
+// deterministic). Errors when there are more tenants than ways.
+func splitWays(weights map[uint32]int, ways int) (map[uint32]int, error) {
+	n := len(weights)
+	if n > ways {
+		return nil, fmt.Errorf("norman: %d tenants cannot each hold a way of a %d-way DDIO region", n, ways)
+	}
+	ids := make([]uint32, 0, n)
+	total := 0
+	for id, w := range weights {
+		ids = append(ids, id)
+		total += w
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	extra := ways - n
+	type frac struct {
+		id  uint32
+		rem int
+	}
+	shares := make(map[uint32]int, n)
+	fr := make([]frac, 0, n)
+	used := 0
+	for _, id := range ids {
+		e := extra * weights[id] / total
+		shares[id] = 1 + e
+		used += 1 + e
+		fr = append(fr, frac{id: id, rem: extra * weights[id] % total})
+	}
+	sort.SliceStable(fr, func(i, j int) bool {
+		if fr[i].rem != fr[j].rem {
+			return fr[i].rem > fr[j].rem
+		}
+		return fr[i].id < fr[j].id
+	})
+	for i := 0; used < ways && i < len(fr); i++ {
+		shares[fr[i].id]++
+		used++
+	}
+	return shares, nil
+}
