@@ -2,10 +2,18 @@
 
 GO ?= go
 
-.PHONY: check build test race bench bench-engine baselines
+.PHONY: check build test race bench bench-engine baselines docs
 
 check:
 	./scripts/check.sh
+
+# Documentation gates alone (a fast subset of `make check`): every package
+# must carry a godoc comment, and OBSERVABILITY.md's metric names must
+# match a fully populated registry (the drift gate).
+docs:
+	@undoc=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./... | grep -v '^$$' || true); \
+	if [ -n "$$undoc" ]; then echo "packages lack a doc comment: $$undoc" >&2; exit 1; fi
+	$(GO) test -count=1 -run 'TestObservabilityDocMatchesRegistry' .
 
 build:
 	$(GO) build ./...

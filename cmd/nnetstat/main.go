@@ -10,8 +10,11 @@
 // shed/backpressure accounting. With -shards it reports the engine shard
 // coordinator: per-shard event counts, mailbox traffic and depths, and
 // barrier epoch/stall accounting. With -tenants it reports the multi-tenant
-// isolation machinery: per-tenant scheduler grants, DDIO partition hits and
-// misses, and governor budgets and health.
+// isolation machinery: per-tenant scheduler grants, scheduler queue waits,
+// DDIO partition hits and misses, and governor budgets and health. With
+// -flows it reports the NIC's exact-match flow cache: occupancy, hit/miss
+// and install/evict/invalidate accounting, and the per-tenant partition
+// rows.
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	pressure := flag.Bool("pressure", false, "show the daemon's overload-governor status (watchdog state, admission, shedding)")
 	shardsFlag := flag.Bool("shards", false, "show the daemon's engine shard coordinator (per-shard events, mailboxes, barrier stalls)")
 	tenantsFlag := flag.Bool("tenants", false, "show the daemon's per-tenant isolation status (scheduler grants, DDIO partition, budgets)")
+	flowsFlag := flag.Bool("flows", false, "show the NIC flow-cache status (occupancy, hit/miss, per-tenant partitions)")
 	flag.Parse()
 
 	c, err := ctl.Dial(*socket)
@@ -66,6 +70,35 @@ func main() {
 		return
 	}
 
+	if *flowsFlag {
+		var data ctl.FlowCacheData
+		if err := c.Call(ctl.OpFlowCache, nil, &data); err != nil {
+			fatal(err)
+		}
+		if !data.Enabled {
+			fmt.Println("flowcache: not enabled on this daemon")
+			return
+		}
+		part := "unpartitioned"
+		if data.Partitioned {
+			part = fmt.Sprintf("%d tenant partitions", len(data.Tenants))
+		}
+		total := data.Hits + data.Misses
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(data.Hits) / float64(total)
+		}
+		fmt.Printf("flowcache: %d / %d entries, %s\n", data.Entries, data.Capacity, part)
+		fmt.Printf("lookups: %d hits / %d misses (%.1f%% hit)\n", data.Hits, data.Misses, pct)
+		fmt.Printf("churn: %d installs, %d evictions, %d invalidations, %d denied\n",
+			data.Installs, data.Evictions, data.Invalidations, data.Denied)
+		for _, r := range data.Tenants {
+			fmt.Printf("  tenant %d: %d / %d entries, %d hits, %d installs, %d evictions, %d denied\n",
+				r.Tenant, r.Used, r.Quota, r.Hits, r.Installs, r.Evicts, r.Denied)
+		}
+		return
+	}
+
 	if *tenantsFlag {
 		var data ctl.TenantData
 		if err := c.Call(ctl.OpTenants, nil, &data); err != nil {
@@ -79,8 +112,8 @@ func main() {
 		for _, r := range data.Tenants {
 			fmt.Printf("  tenant %d (weight %d): %s, %d conns, pipe %d / dma %d grants, %d fifo drops\n",
 				r.Tenant, r.Weight, r.State, r.Conns, r.PipeGrants, r.DMAGrants, r.FifoDrops)
-			fmt.Printf("    ddio: %d ways, %d hits / %d misses; ring %d / %d bytes, %d transitions\n",
-				r.DDIOWays, r.DDIOHits, r.DDIOMisses, r.RingBytes, r.RingBudget, r.Transitions)
+			fmt.Printf("    waits: pipe %dns, dma %dns; ddio: %d ways, %d hits / %d misses; ring %d / %d bytes, %d transitions\n",
+				r.PipeWaitNs, r.DMAWaitNs, r.DDIOWays, r.DDIOHits, r.DDIOMisses, r.RingBytes, r.RingBudget, r.Transitions)
 		}
 		return
 	}

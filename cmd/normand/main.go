@@ -52,6 +52,12 @@ func main() {
 	if err := sys.EnableTenantIsolation(map[uint32]int{1: 3, 2: 1}); err != nil {
 		log.Fatalf("normand: tenant isolation: %v", err)
 	}
+	// The hardware fast path: a 1024-entry exact-match flow cache in front
+	// of the ingress overlay pipeline, partitioned by the tenant weights
+	// above; nnetstat -flows reads its hit/install/evict accounting.
+	if err := sys.EnableFlowCache(1024); err != nil {
+		log.Fatalf("normand: flow cache: %v", err)
+	}
 	// Observability on from the start: the metrics registry and the packet
 	// tracer feed nnetstat -metrics and ntcpdump -trace.
 	reg := sys.EnableTelemetry()

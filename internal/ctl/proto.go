@@ -46,6 +46,7 @@ const (
 	OpOverload      = "overload.status"
 	OpTenants       = "tenant.status"
 	OpShards        = "engine.shards"
+	OpFlowCache     = "flowcache.status"
 )
 
 // IdempotentOp reports whether op is a read-only query the client may
@@ -56,7 +57,7 @@ func IdempotentOp(op string) bool {
 	switch op {
 	case OpStatus, OpIPTablesList, OpTCShow, OpDumpFetch, OpDumpPcap,
 		OpNetstat, OpARP, OpTelemetry, OpTrace, OpRecovery, OpOverload,
-		OpTenants, OpShards:
+		OpTenants, OpShards, OpFlowCache:
 		return true
 	}
 	return false
@@ -246,6 +247,8 @@ type TenantRow struct {
 	Weight      int    `json:"weight"`
 	PipeGrants  uint64 `json:"pipe_grants"`
 	DMAGrants   uint64 `json:"dma_grants"`
+	PipeWaitNs  uint64 `json:"pipe_wait_ns"`
+	DMAWaitNs   uint64 `json:"dma_wait_ns"`
 	FifoDrops   uint64 `json:"fifo_drops"`
 	DDIOWays    int    `json:"ddio_ways"`
 	DDIOHits    uint64 `json:"ddio_hits"`
@@ -255,6 +258,36 @@ type TenantRow struct {
 	RingBudget  int    `json:"ring_budget_bytes"`
 	State       string `json:"state"`
 	Transitions uint64 `json:"transitions"`
+}
+
+// FlowCacheData answers flowcache.status: the NIC flow cache's global
+// lookup/install/evict accounting plus one row per tenant partition. Enabled
+// reports whether the daemon runs a flow cache at all — a daemon without one
+// answers Enabled=false rather than erroring, so nnetstat -flows degrades
+// gracefully.
+type FlowCacheData struct {
+	Enabled       bool              `json:"enabled"`
+	Capacity      int               `json:"capacity,omitempty"`
+	Entries       int               `json:"entries,omitempty"`
+	Partitioned   bool              `json:"partitioned,omitempty"`
+	Hits          uint64            `json:"hits,omitempty"`
+	Misses        uint64            `json:"misses,omitempty"`
+	Installs      uint64            `json:"installs,omitempty"`
+	Evictions     uint64            `json:"evictions,omitempty"`
+	Invalidations uint64            `json:"invalidations,omitempty"`
+	Denied        uint64            `json:"denied,omitempty"`
+	Tenants       []FlowCacheTenRow `json:"tenants,omitempty"`
+}
+
+// FlowCacheTenRow is one tenant's partition row within FlowCacheData.
+type FlowCacheTenRow struct {
+	Tenant   uint32 `json:"tenant"`
+	Used     int    `json:"used"`
+	Quota    int    `json:"quota"`
+	Hits     uint64 `json:"hits"`
+	Installs uint64 `json:"installs"`
+	Evicts   uint64 `json:"evictions"`
+	Denied   uint64 `json:"denied"`
 }
 
 // ShardsData is the engine shard coordinator's snapshot (engine.shards).

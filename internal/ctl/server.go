@@ -215,6 +215,8 @@ func (s *Server) dispatch(req Request) (data json.RawMessage, err error) {
 		return s.tenantStatus()
 	case OpShards:
 		return s.shardsStatus()
+	case OpFlowCache:
+		return s.flowcacheStatus()
 	default:
 		return nil, fmt.Errorf("ctl: unknown op %q", req.Op)
 	}
@@ -233,10 +235,11 @@ func (s *Server) status() (json.RawMessage, error) {
 		VirtualTime:  s.sys.Now().String(),
 		TxFrames:     w.NIC.TxFrames,
 		RxFrames:     w.NIC.RxWire,
-		RxDrops:      w.NIC.RxDropNoSteer + w.NIC.RxDropRing + w.NIC.RxDropVerdict + w.NIC.RxFifoDrop,
-		SRAMUsed:     used,
-		SRAMBudget:   budget,
-		Conns:        w.NIC.ConnCount(),
+		RxDrops: w.NIC.RxDropNoSteer + w.NIC.RxDropRing + w.NIC.RxDropVerdict +
+			w.NIC.RxFifoDrop + w.NIC.RxOutageDrop + w.NIC.RxShed,
+		SRAMUsed:   used,
+		SRAMBudget: budget,
+		Conns:      w.NIC.ConnCount(),
 	})
 }
 
@@ -496,6 +499,8 @@ func (s *Server) tenantStatus() (json.RawMessage, error) {
 			Weight:      r.Weight,
 			PipeGrants:  r.PipeGrants,
 			DMAGrants:   r.DMAGrants,
+			PipeWaitNs:  r.PipeWaitNs,
+			DMAWaitNs:   r.DMAWaitNs,
 			FifoDrops:   r.FifoDrops,
 			DDIOWays:    r.DDIOWays,
 			DDIOHits:    r.DDIOHits,
@@ -505,6 +510,35 @@ func (s *Server) tenantStatus() (json.RawMessage, error) {
 			RingBudget:  r.RingBudget,
 			State:       r.State,
 			Transitions: r.Transitions,
+		})
+	}
+	return marshal(data)
+}
+
+// flowcacheStatus reports the NIC flow cache's accounting and per-tenant
+// partition rows (flowcache.status). A daemon without a flow cache answers
+// Enabled=false rather than erroring, so nnetstat -flows degrades gracefully.
+func (s *Server) flowcacheStatus() (json.RawMessage, error) {
+	st := s.sys.FlowCacheStatus()
+	if !st.Enabled {
+		return marshal(FlowCacheData{Enabled: false})
+	}
+	data := FlowCacheData{
+		Enabled:       true,
+		Capacity:      st.Capacity,
+		Entries:       st.Entries,
+		Partitioned:   st.Partitioned,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Installs:      st.Installs,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
+		Denied:        st.Denied,
+	}
+	for _, t := range st.Tenants {
+		data.Tenants = append(data.Tenants, FlowCacheTenRow{
+			Tenant: t.Tenant, Used: t.Used, Quota: t.Quota,
+			Hits: t.Hits, Installs: t.Installs, Evicts: t.Evicts, Denied: t.Denied,
 		})
 	}
 	return marshal(data)

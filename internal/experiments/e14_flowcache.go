@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"norman/internal/arch"
+	"norman/internal/host"
+	"norman/internal/nic"
+	"norman/internal/overlay"
+	"norman/internal/packet"
+	"norman/internal/sim"
+	"norman/internal/stats"
+	"norman/internal/timing"
+)
+
+// E14Point is one flood-size measurement of the NIC's exact-match flow cache
+// (DESIGN.md §10). A victim tenant runs a small set of long-lived flows
+// through a cacheable ACL ingress program while an adversarial tenant offers
+// a SYN-flood-like churn of short flows — each flood flow is touched so
+// rarely that it can never be re-hit, so every flood packet is a slow-path
+// miss plus an install, thrashing whatever shares the table with it. Three
+// worlds per point: the cache disabled (every packet interpreted), the cache
+// shared (the flood evicts the victim's entries), and the cache partitioned
+// by tenant weight (flood installs are denied before they can steal a
+// victim slot).
+type E14Point struct {
+	FloodFlows int
+
+	// Off: no cache — the interpretation-cost baseline.
+	OffCycPkt float64 // interpreter cycles per offered frame
+	OffP99    float64 // victim NIC->app delivery p99 in µs
+	OffSilent int64
+
+	// Shared: cache on, unpartitioned.
+	ShrHitPct    float64 // global lookup hit rate, %
+	ShrVicHitPct float64 // victim's own hit rate, %
+	ShrCycPkt    float64
+	ShrP99       float64
+	ShrEvicts    uint64
+	ShrSilent    int64
+	ShrLedger    int64 // installs − evictions − invalidations − live (must be 0)
+
+	// Part: cache on, partitioned 7:1 by tenant weight.
+	PrtVicHitPct float64
+	PrtDenied    uint64 // flood installs refused at the partition boundary
+	PrtP99       float64
+	PrtSilent    int64
+	PrtLedger    int64
+}
+
+// E14 identities and shape: the same 7:1 victim/adversary split as E13, a
+// 256-entry cache (64 buckets × 4 ways, 8 KiB of SRAM), and a victim whose
+// 64 flows fit its 224-entry partition with room to spare.
+const (
+	e14VictimUID  = 101
+	e14AdvUID     = 202
+	e14VictimTid  = 1
+	e14AdvTid     = 2
+	e14VictimW    = 7
+	e14AdvW       = 1
+	e14RingSize   = 16
+	e14CacheSlots = 256
+)
+
+// Victim traffic: 64 established flows, small frames at 12.5 Gbps (a flow is
+// re-referenced every ~12 µs). Flood traffic: minimum-size frames at 10 Gbps
+// round-robin over FloodFlows short flows — at 8192 flows each is revisited
+// every ~700 µs, far past any plausible residency, so the flood is pure
+// install churn.
+const (
+	e14VictimConns   = 64
+	e14VictimPayload = 256
+	e14VictimFrame   = e14VictimPayload + 42
+	e14VictimGbps    = 12.5
+	e14FloodPayload  = 64
+	e14FloodFrame    = e14FloodPayload + 42
+	e14FloodGbps     = 10
+)
+
+// e14ACLSource is the cacheable ingress program: a 15-rule port blocklist
+// (none of which matches this experiment's traffic), a mark rewrite, and a
+// pass — ~35 interpreted cycles per slow-path packet, zero per hit. It uses
+// no meter/update/mirror/notify, so programCacheable admits it.
+func e14ACLSource() string {
+	var b strings.Builder
+	b.WriteString("ldf r0, dst_port\n")
+	for i := 0; i < 15; i++ {
+		fmt.Fprintf(&b, "jeq r0, %d, blocked\n", 9000+i)
+	}
+	b.WriteString("ldi r2, 7\n")
+	b.WriteString("setf mark, r2\n")
+	b.WriteString("pass\n")
+	b.WriteString("blocked:\n")
+	b.WriteString("drop\n")
+	return b.String()
+}
+
+// RunE14 sweeps the flood's flow count and measures hit rates, interpreter
+// cycles per frame, eviction/denial churn and the victim's delivery tail in
+// the three worlds. shards is an execution parameter only; every cell is
+// byte-identical at any shard or worker width (TestE14Determinism).
+func RunE14(scale Scale, shards int) ([]E14Point, *stats.Table) {
+	if shards < 1 {
+		shards = 1
+	}
+	sweep := []int{64, 512, 2048, 8192}
+	if scale < 0.5 {
+		sweep = []int{64, 8192}
+	}
+	points := make([]E14Point, len(sweep))
+	r := NewRunner()
+	for i, n := range sweep {
+		i, n := i, n
+		points[i].FloodFlows = n
+		r.Go(func() {
+			res := e14Run(n, e14Off, scale, shards)
+			points[i].OffCycPkt = res.cycPkt
+			points[i].OffP99 = res.vicP99
+			points[i].OffSilent = res.silent
+		})
+		r.Go(func() {
+			res := e14Run(n, e14Shared, scale, shards)
+			points[i].ShrHitPct = res.hitPct
+			points[i].ShrVicHitPct = res.vicHitPct
+			points[i].ShrCycPkt = res.cycPkt
+			points[i].ShrP99 = res.vicP99
+			points[i].ShrEvicts = res.evicts
+			points[i].ShrSilent = res.silent
+			points[i].ShrLedger = res.ledger
+		})
+		r.Go(func() {
+			res := e14Run(n, e14Part, scale, shards)
+			points[i].PrtVicHitPct = res.vicHitPct
+			points[i].PrtDenied = res.denied
+			points[i].PrtP99 = res.vicP99
+			points[i].PrtSilent = res.silent
+			points[i].PrtLedger = res.ledger
+		})
+	}
+	r.Wait()
+
+	t := stats.NewTable("E14: flow-cache fast path vs a short-flow flood (victim 64 flows @12.5G, flood min-size frames @10G; 256-entry cache)",
+		"flood flows", "off cyc/pkt", "off p99(µs)",
+		"shr hit%", "shr vic hit%", "shr cyc/pkt", "shr p99(µs)", "shr evicts",
+		"prt vic hit%", "prt denied", "prt p99(µs)", "silent")
+	for _, p := range points {
+		silent := p.OffSilent
+		if abs64(p.ShrSilent) > abs64(silent) {
+			silent = p.ShrSilent
+		}
+		if abs64(p.PrtSilent) > abs64(silent) {
+			silent = p.PrtSilent
+		}
+		t.AddRow(p.FloodFlows,
+			fmt.Sprintf("%.1f", p.OffCycPkt), fmt.Sprintf("%.1f", p.OffP99),
+			fmt.Sprintf("%.1f", p.ShrHitPct), fmt.Sprintf("%.1f", p.ShrVicHitPct),
+			fmt.Sprintf("%.1f", p.ShrCycPkt), fmt.Sprintf("%.1f", p.ShrP99), p.ShrEvicts,
+			fmt.Sprintf("%.1f", p.PrtVicHitPct), p.PrtDenied,
+			fmt.Sprintf("%.1f", p.PrtP99), silent)
+	}
+	return points, t
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// e14Leg selects which world one run simulates.
+type e14Leg int
+
+const (
+	e14Off    e14Leg = iota // no flow cache
+	e14Shared               // cache on, unpartitioned
+	e14Part                 // cache on, tenant-partitioned 7:1
+)
+
+// e14Result is what one world reports.
+type e14Result struct {
+	hitPct    float64
+	vicHitPct float64
+	cycPkt    float64
+	vicP99    float64
+	evicts    uint64
+	denied    uint64
+	silent    int64
+	ledger    int64
+}
+
+// e14Run offers victim + flood inbound traffic through the cacheable ACL on
+// a tenant-scheduled KOPI world and reports cache accounting, interpreter
+// cost and the victim's delivery tail. The tenant scheduler runs in every
+// leg so the only variable between worlds is the cache configuration.
+func e14Run(floodFlows int, leg e14Leg, scale Scale, shards int) e14Result {
+	model := timing.Default()
+	a := arch.New("kopi", arch.WorldConfig{Model: model, RingSize: e14RingSize, Shards: shards})
+	w := a.World()
+	w.Peer = func(*packet.Packet, sim.Time) {}
+
+	vicUser := w.Kern.AddUser(e14VictimUID, "victim")
+	advUser := w.Kern.AddUser(e14AdvUID, "flooder")
+	vicProc := w.Kern.Spawn(vicUser.UID, "victim-svc")
+	advProc := w.Kern.Spawn(advUser.UID, "flood-src")
+	w.Kern.AssignTenant(e14VictimUID, e14VictimTid)
+	w.Kern.AssignTenant(e14AdvUID, e14AdvTid)
+
+	weights := map[uint32]int{e14VictimTid: e14VictimW, e14AdvTid: e14AdvW}
+	w.NIC.SetTenantScheduler(weights)
+	if leg != e14Off {
+		if err := w.NIC.EnableFlowCache(e14CacheSlots); err != nil {
+			panic(fmt.Sprintf("e14: enable cache: %v", err))
+		}
+		if leg == e14Part {
+			if err := w.NIC.FlowCache().SetQuotas(weights); err != nil {
+				panic(fmt.Sprintf("e14: partition: %v", err))
+			}
+		}
+	}
+
+	prog, err := overlay.Assemble("e14-acl", e14ACLSource())
+	if err != nil {
+		panic(fmt.Sprintf("e14: assemble: %v", err))
+	}
+	if _, _, err := w.NIC.LoadProgram(nic.Ingress, prog); err != nil {
+		panic(fmt.Sprintf("e14: load: %v", err))
+	}
+
+	vicFlows := make([]packet.FlowKey, 0, e14VictimConns)
+	for i := 0; i < e14VictimConns; i++ {
+		flow := w.Flow(uint16(3000+i/512), uint16(6000+i%512))
+		vicFlows = append(vicFlows, flow)
+		if _, err := a.Connect(vicProc, flow); err != nil {
+			panic(fmt.Sprintf("e14: victim connect %d: %v", i, err))
+		}
+	}
+	advFlows := make([]packet.FlowKey, 0, floodFlows)
+	for i := 0; i < floodFlows; i++ {
+		flow := w.Flow(uint16(2000+i/512), uint16(7000+i%512))
+		advFlows = append(advFlows, flow)
+		if _, err := a.Connect(advProc, flow); err != nil {
+			panic(fmt.Sprintf("e14: flood connect %d: %v", i, err))
+		}
+	}
+
+	dur := scale.d(4 * sim.Millisecond)
+	winLo := sim.Time(dur) / 2
+	var delivered uint64
+	var vicLat stats.Histogram
+	a.SetDeliver(func(c *arch.Conn, p *packet.Packet, at sim.Time) {
+		delivered++
+		if at < winLo || c.Info.UID != vicUser.UID {
+			return
+		}
+		vicLat.Observe(at.Sub(p.Meta.Enqueued))
+	})
+
+	vgen := &host.InboundGen{
+		Arch: a, Flows: vicFlows, Payload: e14VictimPayload,
+		Interval: host.IntervalFor(e14VictimGbps, e14VictimFrame),
+		Until:    sim.Time(dur),
+	}
+	vgen.Start(0)
+	agen := &host.InboundGen{
+		Arch: a, Flows: advFlows, Payload: e14FloodPayload,
+		Interval: host.IntervalFor(e14FloodGbps, e14FloodFrame),
+		Until:    sim.Time(dur),
+	}
+	agen.Start(0)
+	if w.Coord != nil {
+		w.Coord.RunUntil(sim.Time(dur))
+		w.Coord.Run()
+	} else {
+		w.Eng.RunUntil(sim.Time(dur))
+		w.Eng.Run()
+	}
+
+	sent := vgen.Sent + agen.Sent
+	res := e14Result{
+		vicP99: float64(vicLat.P99()) / float64(sim.Microsecond),
+		cycPkt: float64(w.NIC.IngressProgCycles) / float64(sent),
+	}
+	if f := w.NIC.FlowCache(); f != nil {
+		if total := f.Hits + f.Misses; total > 0 {
+			res.hitPct = 100 * float64(f.Hits) / float64(total)
+		}
+		for _, ts := range f.TenantStats() {
+			if ts.Tenant != e14VictimTid {
+				continue
+			}
+			// A tenant's misses are its installs plus its denials (every
+			// slow-path run attempts exactly one install), so its private
+			// hit rate needs no per-tenant miss counter.
+			if runs := ts.Hits + ts.Installs + ts.Denied; runs > 0 {
+				res.vicHitPct = 100 * float64(ts.Hits) / float64(runs)
+			}
+		}
+		res.evicts = f.Evictions
+		res.denied = f.Denied
+		res.ledger = int64(f.Installs) - int64(f.Evictions) - int64(f.Invalidations) - int64(f.Len())
+	}
+	// The zero-silent-loss ledger: every offered frame is delivered or sits
+	// in exactly one drop counter — with or without the fast path.
+	counted := w.NIC.RxDropNoSteer + w.NIC.RxDropRing + w.NIC.RxFifoDrop +
+		w.NIC.RxDropVerdict + w.NIC.RxOutageDrop + w.NIC.RxShed
+	res.silent = int64(sent) - int64(delivered) - int64(counted)
+	return res
+}

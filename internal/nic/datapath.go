@@ -413,21 +413,43 @@ func (n *NIC) rxFrame(p *packet.Packet) {
 	}
 
 	if n.ingress != nil {
-		verdict, cycles, trap := n.ingress.Run(p, env{n: n, now: now, c: c})
-		if trap != nil {
+		if e, hit := n.fcLookup(p, c); hit {
+			// Fast path: the memoized verdict and rewrite apply at
+			// single-lookup cost — no overlay interpretation.
+			lat += n.model.NICCycles(1)
+			p.Meta.Mark = e.mark
+			p.Meta.Class = e.class
 			if n.tracer != nil {
-				n.trace(p, now, "nic", "trap_fallback", "pipeline=ingress: "+trap.Error())
+				n.trace(p, now, "nic", "flowcache_hit", fmt.Sprintf("verdict=%v hits=%d", e.verdict, e.hits))
 			}
-			verdict, cycles = n.trapFallback(Ingress, p, env{n: n, now: now, c: c})
-		}
-		lat += n.model.NICCycles(cycles)
-		if n.tracer != nil {
-			n.trace(p, now, "nic", "pipeline_ingress", fmt.Sprintf("verdict=%v cycles=%d", verdict, cycles))
-		}
-		if verdict == overlay.VerdictDrop {
-			n.RxDropVerdict++
-			n.rxInflight--
-			return
+			if e.verdict == overlay.VerdictDrop {
+				n.RxDropVerdict++
+				n.rxInflight--
+				return
+			}
+		} else {
+			verdict, cycles, trap := n.ingress.Run(p, env{n: n, now: now, c: c})
+			trapped := trap != nil
+			if trapped {
+				if n.tracer != nil {
+					n.trace(p, now, "nic", "trap_fallback", "pipeline=ingress: "+trap.Error())
+				}
+				verdict, cycles = n.trapFallback(Ingress, p, env{n: n, now: now, c: c})
+			}
+			n.IngressProgCycles += uint64(cycles)
+			lat += n.model.NICCycles(cycles)
+			if n.fc != nil && n.ingressCacheable && c != nil {
+				lat += n.model.NICCycles(1) // the probe that missed
+			}
+			if n.tracer != nil {
+				n.trace(p, now, "nic", "pipeline_ingress", fmt.Sprintf("verdict=%v cycles=%d", verdict, cycles))
+			}
+			n.fcInstall(p, c, verdict, trapped)
+			if verdict == overlay.VerdictDrop {
+				n.RxDropVerdict++
+				n.rxInflight--
+				return
+			}
 		}
 	}
 

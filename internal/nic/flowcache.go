@@ -1,0 +1,528 @@
+package nic
+
+import (
+	"fmt"
+	"sort"
+
+	"norman/internal/overlay"
+	"norman/internal/packet"
+)
+
+// This file is the NIC's exact-match flow cache — the hardware fast path in
+// front of the ingress overlay pipeline (ROADMAP item 3; Deri et al.'s
+// programmable flow offload). The first packet of a flow runs the full
+// overlay chain (the kernel slow path, in the paper's terms: interpretation
+// is where interposition semantics live) and installs an entry keyed by the
+// 5-tuple; every later packet of the flow hits the cache and applies the
+// memoized verdict and mark/class rewrite at single-lookup cost, skipping
+// interpretation entirely. The cache is a bounded, set-associative SRAM
+// structure charged against the same on-NIC budget as connections and
+// steering entries, with clock (second-chance) eviction per bucket and
+// optional per-tenant partitions whose evictions never cross tenants.
+//
+// Correctness rules (DESIGN.md §10):
+//
+//   - Only flow-invariant programs are cacheable: a program containing
+//     meter, update, mirror or notify instructions has per-packet side
+//     effects or rate-dependent state, so the NIC refuses to memoize it
+//     and every packet takes the slow path (programCacheable).
+//   - Per-rule hit counters (count) freeze for cached packets — exactly the
+//     deviation real flow offload exhibits ("iptables -L -v" undercounts
+//     offloaded flows); the per-entry hit counters preserve the total.
+//   - Any event that can change a cached decision flushes or invalidates:
+//     program load/unload/trap-fallback and bitstream reload flush the
+//     whole cache; steering changes and connection close invalidate the
+//     affected keys (both directions).
+
+// flowEntrySRAM is the on-NIC footprint of one cache entry: 13 bytes of key,
+// verdict/rewrite results, hit counter and tag bits, padded to the 32-byte
+// SRAM row the lookup engine reads in one cycle.
+const flowEntrySRAM = 32
+
+// flowCacheWays is the set associativity: a lookup reads one bucket row of
+// four entries in parallel, as exact-match hardware tables do.
+const flowCacheWays = 4
+
+// flowEntry is one cached flow decision. Entries are flat values in one
+// backing array so the steady-state hot path allocates nothing.
+type flowEntry struct {
+	key     packet.FlowKey
+	connID  uint64
+	tenant  uint32
+	mark    uint32
+	class   uint32
+	hits    uint64
+	verdict overlay.Verdict
+	ref     bool // clock second-chance bit
+	valid   bool
+}
+
+// FlowTenantStats is one tenant's slice of the flow-cache accounting:
+// occupancy against its partition quota plus its hit/install/evict/deny
+// counters. Quota is 0 when the cache is unpartitioned.
+type FlowTenantStats struct {
+	Tenant   uint32
+	Used     int
+	Quota    int
+	Hits     uint64
+	Installs uint64
+	Evicts   uint64
+	Denied   uint64
+}
+
+// FlowCache is the bounded exact-match flow table. It is not safe for
+// concurrent use; like the rest of the NIC it lives on one engine's event
+// loop.
+type FlowCache struct {
+	entries []flowEntry // buckets × flowCacheWays, flat
+	hands   []uint8     // per-bucket clock hand
+	buckets int         // power of two
+	mask    uint32
+	used    int
+
+	// quotas, when non-nil, partitions capacity per tenant: installs beyond
+	// a tenant's quota may only evict that tenant's own entries, and a full
+	// bucket may only yield a same-tenant victim — eviction never crosses
+	// into another tenant's partition.
+	quotas map[uint32]int
+
+	perTenant map[uint32]*FlowTenantStats
+	order     []uint32 // sorted tenant ids for deterministic iteration
+
+	// Global counters (Hits + Misses covers every lookup; Installs −
+	// Evictions − Invalidations == live entries, the conservation ledger
+	// the property tests pin).
+	Hits          uint64
+	Misses        uint64
+	Installs      uint64
+	Evictions     uint64
+	Invalidations uint64
+	// Denied counts installs refused because the owning tenant's partition
+	// was full and no same-tenant victim shared the bucket — the typed,
+	// accounted form of cross-tenant cache pressure.
+	Denied uint64
+}
+
+// newFlowCache builds a cache with at least `entries` slots, rounded up to a
+// power-of-two bucket count at fixed associativity.
+func newFlowCache(entries int) *FlowCache {
+	if entries < flowCacheWays {
+		entries = flowCacheWays
+	}
+	buckets := 1
+	for buckets*flowCacheWays < entries {
+		buckets <<= 1
+	}
+	return &FlowCache{
+		entries:   make([]flowEntry, buckets*flowCacheWays),
+		hands:     make([]uint8, buckets),
+		buckets:   buckets,
+		mask:      uint32(buckets - 1),
+		perTenant: make(map[uint32]*FlowTenantStats),
+	}
+}
+
+// Capacity returns the total entry slots.
+func (f *FlowCache) Capacity() int { return f.buckets * flowCacheWays }
+
+// Len returns the live entry count.
+func (f *FlowCache) Len() int { return f.used }
+
+// SetQuotas partitions the cache's capacity among tenants in proportion to
+// their weights (largest remainder, at least one entry each; ties broken by
+// ascending tenant id). nil clears the partition. Existing entries are kept;
+// quotas bind on the next install.
+func (f *FlowCache) SetQuotas(weights map[uint32]int) error {
+	if len(weights) == 0 {
+		f.quotas = nil
+		return nil
+	}
+	cap := f.Capacity()
+	if len(weights) > cap {
+		return fmt.Errorf("nic: %d tenants cannot partition a %d-entry flow cache", len(weights), cap)
+	}
+	ids := make([]uint32, 0, len(weights))
+	total := 0
+	for id, w := range weights {
+		if w < 1 {
+			w = 1
+		}
+		ids = append(ids, id)
+		total += w
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	extra := cap - len(weights)
+	type frac struct {
+		id  uint32
+		rem int
+	}
+	fr := make([]frac, 0, len(ids))
+	quotas := make(map[uint32]int, len(ids))
+	used := 0
+	for _, id := range ids {
+		w := weights[id]
+		if w < 1 {
+			w = 1
+		}
+		e := extra * w / total
+		quotas[id] = 1 + e
+		used += 1 + e
+		fr = append(fr, frac{id: id, rem: extra * w % total})
+	}
+	sort.SliceStable(fr, func(i, j int) bool {
+		if fr[i].rem != fr[j].rem {
+			return fr[i].rem > fr[j].rem
+		}
+		return fr[i].id < fr[j].id
+	})
+	for i := 0; used < cap && i < len(fr); i++ {
+		quotas[fr[i].id]++
+		used++
+	}
+	f.quotas = quotas
+	for id, q := range quotas {
+		f.tenantStats(id).Quota = q
+	}
+	return nil
+}
+
+// Quotas returns the per-tenant partition, nil when unpartitioned.
+func (f *FlowCache) Quotas() map[uint32]int { return f.quotas }
+
+func (f *FlowCache) tenantStats(id uint32) *FlowTenantStats {
+	if st, ok := f.perTenant[id]; ok {
+		return st
+	}
+	st := &FlowTenantStats{Tenant: id}
+	if f.quotas != nil {
+		st.Quota = f.quotas[id]
+	}
+	f.perTenant[id] = st
+	i := sort.Search(len(f.order), func(i int) bool { return f.order[i] >= id })
+	f.order = append(f.order, 0)
+	copy(f.order[i+1:], f.order[i:])
+	f.order[i] = id
+	return st
+}
+
+// TenantStats returns per-tenant accounting in ascending tenant order.
+func (f *FlowCache) TenantStats() []FlowTenantStats {
+	out := make([]FlowTenantStats, 0, len(f.order))
+	for _, id := range f.order {
+		out = append(out, *f.perTenant[id])
+	}
+	return out
+}
+
+// flowHash is an inline FNV-1a over the 5-tuple — no allocation, no
+// interface values, matching the hot path's zero-alloc pin.
+func flowHash(k packet.FlowKey) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime
+	}
+	mix(byte(k.Src >> 24))
+	mix(byte(k.Src >> 16))
+	mix(byte(k.Src >> 8))
+	mix(byte(k.Src))
+	mix(byte(k.Dst >> 24))
+	mix(byte(k.Dst >> 16))
+	mix(byte(k.Dst >> 8))
+	mix(byte(k.Dst))
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.SrcPort))
+	mix(byte(k.DstPort >> 8))
+	mix(byte(k.DstPort))
+	mix(k.Proto)
+	return h
+}
+
+// bucket returns the slice of ways for a key's bucket plus the bucket index.
+func (f *FlowCache) bucket(k packet.FlowKey) (int, []flowEntry) {
+	b := int(flowHash(k) & f.mask)
+	return b, f.entries[b*flowCacheWays : (b+1)*flowCacheWays : (b+1)*flowCacheWays]
+}
+
+// Lookup probes the cache. On a hit the entry's clock bit and hit counters
+// advance and the entry is returned; the caller applies the memoized verdict
+// and rewrite. Zero allocations in either outcome.
+func (f *FlowCache) Lookup(k packet.FlowKey) (*flowEntry, bool) {
+	_, row := f.bucket(k)
+	for i := range row {
+		e := &row[i]
+		if e.valid && e.key == k {
+			e.ref = true
+			e.hits++
+			f.Hits++
+			if st, ok := f.perTenant[e.tenant]; ok {
+				st.Hits++
+			}
+			return e, true
+		}
+	}
+	f.Misses++
+	return nil, false
+}
+
+// Install memoizes one slow-path result. The entry is charged to the owning
+// tenant; when the cache is partitioned, a tenant at quota (or facing a full
+// bucket) may only evict its own entries — if none share the bucket the
+// install is denied and counted, never satisfied at a neighbor's expense.
+func (f *FlowCache) Install(k packet.FlowKey, connID uint64, tenant uint32, verdict overlay.Verdict, mark, class uint32) bool {
+	b, row := f.bucket(k)
+	st := f.tenantStats(tenant)
+	var free *flowEntry
+	for i := range row {
+		e := &row[i]
+		if e.valid && e.key == k {
+			// Re-install over the existing entry (a slow-path rerun after a
+			// racing invalidation): refresh the decision in place.
+			e.connID, e.tenant = connID, tenant
+			e.verdict, e.mark, e.class = verdict, mark, class
+			e.ref = true
+			return true
+		}
+		if !e.valid && free == nil {
+			free = e
+		}
+	}
+	overQuota := f.quotas != nil && st.Quota > 0 && st.Used >= st.Quota
+	if f.quotas != nil && st.Quota == 0 {
+		// A tenant outside the partition map owns no slice of the cache.
+		f.Denied++
+		st.Denied++
+		return false
+	}
+	if free != nil && !overQuota {
+		f.fill(free, k, connID, tenant, verdict, mark, class)
+		return true
+	}
+	// Evict: clock scan over the bucket, restricted to the installing
+	// tenant's own entries when partitioned (or when it is over quota).
+	sameTenantOnly := f.quotas != nil
+	victim := f.clockVictim(b, row, tenant, sameTenantOnly)
+	if victim == nil {
+		f.Denied++
+		st.Denied++
+		return false
+	}
+	f.evict(victim)
+	f.fill(victim, k, connID, tenant, verdict, mark, class)
+	return true
+}
+
+func (f *FlowCache) fill(e *flowEntry, k packet.FlowKey, connID uint64, tenant uint32, verdict overlay.Verdict, mark, class uint32) {
+	*e = flowEntry{key: k, connID: connID, tenant: tenant, verdict: verdict,
+		mark: mark, class: class, ref: true, valid: true}
+	f.used++
+	f.Installs++
+	f.tenantStats(tenant).Installs++
+	f.tenantStats(tenant).Used++
+}
+
+func (f *FlowCache) evict(e *flowEntry) {
+	f.Evictions++
+	if st, ok := f.perTenant[e.tenant]; ok {
+		st.Evicts++
+		st.Used--
+	}
+	f.used--
+	e.valid = false
+}
+
+// clockVictim runs a bounded second-chance scan over one bucket: referenced
+// entries get their bit cleared and are passed over; the first unreferenced
+// (eligible) entry is the victim. After two sweeps every eligible entry has
+// lost its bit, so the scan always terminates with the hand's entry.
+func (f *FlowCache) clockVictim(b int, row []flowEntry, tenant uint32, sameTenantOnly bool) *flowEntry {
+	eligible := func(e *flowEntry) bool {
+		return e.valid && (!sameTenantOnly || e.tenant == tenant)
+	}
+	any := false
+	for i := range row {
+		if eligible(&row[i]) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	hand := int(f.hands[b])
+	for scanned := 0; scanned < 2*flowCacheWays; scanned++ {
+		e := &row[hand%flowCacheWays]
+		hand++
+		if !eligible(e) {
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			continue
+		}
+		f.hands[b] = uint8(hand % flowCacheWays)
+		return e
+	}
+	// All eligible entries were re-referenced during the sweep; take the
+	// one under the hand.
+	for scanned := 0; scanned < flowCacheWays; scanned++ {
+		e := &row[hand%flowCacheWays]
+		hand++
+		if eligible(e) {
+			f.hands[b] = uint8(hand % flowCacheWays)
+			return e
+		}
+	}
+	return nil
+}
+
+// InvalidateKey removes the entry for one key (exact direction only; callers
+// invalidate the reverse key separately when steering covers both).
+func (f *FlowCache) InvalidateKey(k packet.FlowKey) bool {
+	_, row := f.bucket(k)
+	for i := range row {
+		e := &row[i]
+		if e.valid && e.key == k {
+			f.drop(e)
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateConn removes every entry pointing at one connection (connection
+// close, ring teardown).
+func (f *FlowCache) InvalidateConn(connID uint64) int {
+	dropped := 0
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.valid && e.connID == connID {
+			f.drop(e)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Flush removes every entry — the program-reload/recovery invalidation path:
+// a new overlay chain may decide any flow differently, so nothing memoized
+// under the old chain survives it.
+func (f *FlowCache) Flush() int {
+	dropped := 0
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.valid {
+			f.drop(e)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+func (f *FlowCache) drop(e *flowEntry) {
+	f.Invalidations++
+	if st, ok := f.perTenant[e.tenant]; ok {
+		st.Used--
+	}
+	f.used--
+	e.valid = false
+}
+
+// programCacheable reports whether an overlay program's per-packet decision
+// is safe to memoize by flow: meters are rate-dependent, updates mutate
+// shared table state, and mirror/notify are per-packet side effects — any of
+// them makes every packet a slow-path packet.
+func programCacheable(p *overlay.Program) bool {
+	if p == nil {
+		return false
+	}
+	for _, in := range p.Code {
+		switch in.Op {
+		case overlay.OpMeter, overlay.OpUpdate, overlay.OpMirror, overlay.OpNotify:
+			return false
+		}
+	}
+	return true
+}
+
+// EnableFlowCache installs a flow cache with at least `entries` slots
+// (rounded up to a power-of-two bucket count at 4-way associativity),
+// charging 32 bytes per slot against the on-NIC SRAM budget. Returns
+// ErrSRAMExhausted when the budget cannot hold it. Calling again replaces
+// the cache (releasing the old charge).
+func (n *NIC) EnableFlowCache(entries int) error {
+	fc := newFlowCache(entries)
+	need := fc.Capacity() * flowEntrySRAM
+	old := 0
+	if n.fc != nil {
+		old = n.fc.Capacity() * flowEntrySRAM
+	}
+	if n.sramUsed-old+need > n.sramBudget {
+		return fmt.Errorf("%w: flow cache needs %d bytes, %d free",
+			ErrSRAMExhausted, need, n.sramBudget-(n.sramUsed-old))
+	}
+	n.sramUsed += need - old
+	n.fc = fc
+	return nil
+}
+
+// DisableFlowCache removes the flow cache and releases its SRAM charge.
+func (n *NIC) DisableFlowCache() {
+	if n.fc == nil {
+		return
+	}
+	n.sramUsed -= n.fc.Capacity() * flowEntrySRAM
+	n.fc = nil
+}
+
+// FlowCache returns the installed cache, nil when disabled.
+func (n *NIC) FlowCache() *FlowCache { return n.fc }
+
+// fcLookup is the datapath's hit probe: enabled cache, cacheable ingress
+// program, steered connection and a parseable 5-tuple are all required —
+// anything else is a slow-path packet by construction.
+func (n *NIC) fcLookup(p *packet.Packet, c *Conn) (*flowEntry, bool) {
+	if n.fc == nil || !n.ingressCacheable || c == nil {
+		return nil, false
+	}
+	k, ok := p.Flow()
+	if !ok {
+		return nil, false
+	}
+	return n.fc.Lookup(k)
+}
+
+// fcInstall memoizes a completed slow-path run. trapped runs never install:
+// the fallback swap already flushed the cache and the verdict came from a
+// different chain than the one now loaded.
+func (n *NIC) fcInstall(p *packet.Packet, c *Conn, verdict overlay.Verdict, trapped bool) {
+	if n.fc == nil || !n.ingressCacheable || c == nil || trapped {
+		return
+	}
+	k, ok := p.Flow()
+	if !ok {
+		return
+	}
+	n.fc.Install(k, c.ID, p.Meta.Tenant, verdict, p.Meta.Mark, p.Meta.Class)
+}
+
+// fcInvalidateKey drops both directions of a steering key from the cache.
+func (n *NIC) fcInvalidateKey(k packet.FlowKey) {
+	if n.fc == nil {
+		return
+	}
+	n.fc.InvalidateKey(k)
+	n.fc.InvalidateKey(k.Reverse())
+}
+
+// fcFlush empties the cache when the ingress decision procedure changes
+// (program load/unload, trap fallback, bitstream reload, recovery restore).
+func (n *NIC) fcFlush() {
+	if n.fc != nil {
+		n.fc.Flush()
+	}
+}

@@ -146,6 +146,14 @@ type NIC struct {
 	ingress *overlay.Machine
 	egress  *overlay.Machine
 
+	// fc, when non-nil, is the exact-match flow cache in front of the
+	// ingress pipeline (flowcache.go): established flows skip overlay
+	// interpretation at single-lookup cost. ingressCacheable is recomputed
+	// on every ingress program change — only flow-invariant programs are
+	// memoized.
+	fc               *FlowCache
+	ingressCacheable bool
+
 	// lastGood remembers, per pipeline, the previously installed program —
 	// the chain that was demonstrably processing traffic before the latest
 	// online reload (§4.4). When the current program traps at runtime, the
@@ -223,6 +231,10 @@ type NIC struct {
 	// the last-good chain (or failing open) instead of crashing — the
 	// graceful-degradation metric E9 reports.
 	TrapFallbacks uint64
+	// IngressProgCycles accumulates the overlay cycles the ingress pipeline
+	// actually interpreted — flow-cache hits add nothing here, which is how
+	// E14 shows the fast path's per-packet cost collapsing to one lookup.
+	IngressProgCycles uint64
 }
 
 // New builds a NIC.
@@ -314,6 +326,9 @@ func (n *NIC) CloseConn(id uint64) error {
 			n.sramUsed -= 16
 		}
 	}
+	if n.fc != nil {
+		n.fc.InvalidateConn(id)
+	}
 	n.sramUsed -= n.connSRAM()
 	return nil
 }
@@ -340,6 +355,7 @@ func (n *NIC) SteerFlow(k packet.FlowKey, connID uint64) error {
 		n.sramUsed += 16
 	}
 	n.steering[k] = connID
+	n.fcInvalidateKey(k)
 	return nil
 }
 
@@ -358,6 +374,7 @@ func (n *NIC) DropSteering(k packet.FlowKey) bool {
 	}
 	delete(n.steering, k)
 	n.sramUsed -= 16
+	n.fcInvalidateKey(k)
 	return true
 }
 

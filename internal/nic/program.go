@@ -50,6 +50,10 @@ func (n *NIC) LoadProgram(dir Direction, p *overlay.Program) (*overlay.Machine, 
 			n.lastGood[Ingress] = n.ingress.Program()
 		}
 		n.ingress = m
+		// The decision procedure changed: nothing memoized under the old
+		// chain may serve another packet (E4 hot-reload invalidation).
+		n.ingressCacheable = programCacheable(p)
+		n.fcFlush()
 	case Egress:
 		if n.egress != nil {
 			n.lastGood[Egress] = n.egress.Program()
@@ -82,6 +86,12 @@ func (n *NIC) trapFallback(dir Direction, p *packet.Packet, e env) (overlay.Verd
 	switch dir {
 	case Ingress:
 		n.ingress = repl
+		if repl != nil {
+			n.ingressCacheable = programCacheable(repl.Program())
+		} else {
+			n.ingressCacheable = false
+		}
+		n.fcFlush()
 	case Egress:
 		n.egress = repl
 	}
@@ -118,6 +128,8 @@ func (n *NIC) programSRAMDelta(dir Direction, p *overlay.Program) int {
 func (n *NIC) UnloadProgram(dir Direction) {
 	if dir == Ingress {
 		n.ingress = nil
+		n.ingressCacheable = false
+		n.fcFlush()
 	} else {
 		n.egress = nil
 	}
@@ -147,6 +159,8 @@ func (n *NIC) ReloadBitstream(now sim.Time, d sim.Duration) sim.Time {
 	n.egress = nil
 	n.lastGood[Ingress] = nil
 	n.lastGood[Egress] = nil
+	n.ingressCacheable = false
+	n.fcFlush()
 	return n.outageUntil
 }
 

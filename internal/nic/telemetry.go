@@ -3,6 +3,7 @@ package nic
 import (
 	"fmt"
 
+	"norman/internal/sim"
 	"norman/internal/telemetry"
 )
 
@@ -48,6 +49,51 @@ func (n *NIC) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
 	r.Gauge(telemetry.Desc{Layer: "nic", Name: "sram_budget_bytes", Help: "total on-NIC SRAM budget", Unit: "bytes"},
 		labels, func() float64 { _, budget := n.SRAM(); return float64(budget) })
 
+	// Flow-cache series register only when the cache is installed at
+	// registration time (like the per-tenant scheduler series below); the
+	// closures re-read n.fc so a later re-enable keeps the series live.
+	if n.fc != nil {
+		fcCounters := []struct {
+			name, help string
+			read       func(*FlowCache) uint64
+		}{
+			{"flowcache_hits", "ingress frames served by the exact-match flow cache (no overlay interpretation)", func(f *FlowCache) uint64 { return f.Hits }},
+			{"flowcache_misses", "ingress frames that probed the flow cache and took the slow path", func(f *FlowCache) uint64 { return f.Misses }},
+			{"flowcache_installs", "flow-cache entries installed after a slow-path run", func(f *FlowCache) uint64 { return f.Installs }},
+			{"flowcache_evictions", "flow-cache entries evicted by the per-bucket clock", func(f *FlowCache) uint64 { return f.Evictions }},
+			{"flowcache_invalidations", "flow-cache entries dropped by reload/steering/close invalidation", func(f *FlowCache) uint64 { return f.Invalidations }},
+			{"flowcache_denied", "flow-cache installs refused because the tenant's partition had no victim", func(f *FlowCache) uint64 { return f.Denied }},
+		}
+		for _, c := range fcCounters {
+			read := c.read
+			unit := "frames"
+			if c.name != "flowcache_hits" && c.name != "flowcache_misses" {
+				unit = "entries"
+			}
+			r.Counter(telemetry.Desc{Layer: "nic", Name: c.name, Help: c.help, Unit: unit},
+				labels, func() uint64 {
+					if f := n.fc; f != nil {
+						return read(f)
+					}
+					return 0
+				})
+		}
+		r.Gauge(telemetry.Desc{Layer: "nic", Name: "flowcache_entries", Help: "live flow-cache entries", Unit: "entries"},
+			labels, func() float64 {
+				if f := n.fc; f != nil {
+					return float64(f.Len())
+				}
+				return 0
+			})
+		r.Gauge(telemetry.Desc{Layer: "nic", Name: "flowcache_capacity", Help: "flow-cache entry slots charged against the SRAM budget", Unit: "entries"},
+			labels, func() float64 {
+				if f := n.fc; f != nil {
+					return float64(f.Capacity())
+				}
+				return 0
+			})
+	}
+
 	// Per-tenant scheduler accounting, one labeled series per tenant known
 	// to the scheduler at registration, in sorted tenant order.
 	if n.tsched != nil {
@@ -63,11 +109,35 @@ func (n *NIC) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
 			r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_dma_grants", Help: "DMA engine slots granted to the tenant by the DRR scheduler", Unit: "grants"},
 				tl, func() uint64 { return n.tsched.statsFor(id).DMAGrants })
 			r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_pipe_work_ns", Help: "pipeline occupancy consumed by the tenant", Unit: "ns"},
-				tl, func() uint64 { return uint64(n.tsched.statsFor(id).PipeWork) })
+				tl, func() uint64 { return uint64(n.tsched.statsFor(id).PipeWork / sim.Nanosecond) })
 			r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_dma_work_ns", Help: "DMA engine occupancy consumed by the tenant", Unit: "ns"},
-				tl, func() uint64 { return uint64(n.tsched.statsFor(id).DMAWork) })
+				tl, func() uint64 { return uint64(n.tsched.statsFor(id).DMAWork / sim.Nanosecond) })
 			r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_fifo_drops", Help: "ingress frames dropped at the tenant's FIFO share", Unit: "frames"},
 				tl, func() uint64 { return n.tsched.statsFor(id).RxFifoDrops })
+			if n.fc != nil {
+				r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_flowcache_hits", Help: "flow-cache hits on the tenant's entries", Unit: "frames"},
+					tl, func() uint64 {
+						if f := n.fc; f != nil {
+							for _, st := range f.TenantStats() {
+								if st.Tenant == id {
+									return st.Hits
+								}
+							}
+						}
+						return 0
+					})
+				r.Counter(telemetry.Desc{Layer: "nic", Name: "tenant_flowcache_denied", Help: "flow-cache installs refused inside the tenant's partition", Unit: "entries"},
+					tl, func() uint64 {
+						if f := n.fc; f != nil {
+							for _, st := range f.TenantStats() {
+								if st.Tenant == id {
+									return st.Denied
+								}
+							}
+						}
+						return 0
+					})
+			}
 		}
 	}
 }

@@ -461,23 +461,47 @@ func (s *TenantSched) pipeGrant(g grant, done sim.Time) {
 	default: // reqRxPipe
 		c, p := g.c, g.p
 		if n.ingress != nil {
-			verdict, cycles, trap := n.ingress.Run(p, env{n: n, now: now, c: c})
-			if trap != nil {
+			if e, hit := n.fcLookup(p, c); hit {
+				// Fast path: single-lookup cost, billed to the tenant like
+				// any other pipeline-adjacent work.
+				cyc := n.model.NICCycles(1)
+				lat += cyc
+				s.Pipe.Charge(p.Meta.Tenant, cyc)
+				p.Meta.Mark = e.mark
+				p.Meta.Class = e.class
 				if n.tracer != nil {
-					n.trace(p, now, "nic", "trap_fallback", "pipeline=ingress: "+trap.Error())
+					n.trace(p, now, "nic", "flowcache_hit", fmt.Sprintf("verdict=%v hits=%d", e.verdict, e.hits))
 				}
-				verdict, cycles = n.trapFallback(Ingress, p, env{n: n, now: now, c: c})
-			}
-			cyc := n.model.NICCycles(cycles)
-			lat += cyc
-			s.Pipe.Charge(p.Meta.Tenant, cyc)
-			if n.tracer != nil {
-				n.trace(p, now, "nic", "pipeline_ingress", fmt.Sprintf("verdict=%v cycles=%d", verdict, cycles))
-			}
-			if verdict == overlay.VerdictDrop {
-				n.RxDropVerdict++
-				n.rxRelease(p)
-				return
+				if e.verdict == overlay.VerdictDrop {
+					n.RxDropVerdict++
+					n.rxRelease(p)
+					return
+				}
+			} else {
+				verdict, cycles, trap := n.ingress.Run(p, env{n: n, now: now, c: c})
+				trapped := trap != nil
+				if trapped {
+					if n.tracer != nil {
+						n.trace(p, now, "nic", "trap_fallback", "pipeline=ingress: "+trap.Error())
+					}
+					verdict, cycles = n.trapFallback(Ingress, p, env{n: n, now: now, c: c})
+				}
+				n.IngressProgCycles += uint64(cycles)
+				cyc := n.model.NICCycles(cycles)
+				if n.fc != nil && n.ingressCacheable && c != nil {
+					cyc += n.model.NICCycles(1) // the probe that missed
+				}
+				lat += cyc
+				s.Pipe.Charge(p.Meta.Tenant, cyc)
+				if n.tracer != nil {
+					n.trace(p, now, "nic", "pipeline_ingress", fmt.Sprintf("verdict=%v cycles=%d", verdict, cycles))
+				}
+				n.fcInstall(p, c, verdict, trapped)
+				if verdict == overlay.VerdictDrop {
+					n.RxDropVerdict++
+					n.rxRelease(p)
+					return
+				}
 			}
 		}
 		if c == nil {
@@ -594,6 +618,16 @@ func (n *NIC) SetTenantScheduler(weights map[uint32]int) {
 // TenantScheduler returns the installed tenant scheduler, nil when the
 // dataplane is unscheduled.
 func (n *NIC) TenantScheduler() *TenantSched { return n.tsched }
+
+// Weights returns a copy of the scheduler's tenant weights (the flow cache
+// partitions its capacity by the same shares).
+func (s *TenantSched) Weights() map[uint32]int {
+	out := make(map[uint32]int, len(s.weights))
+	for id, w := range s.weights {
+		out[id] = w
+	}
+	return out
+}
 
 // TenantFifoDrops returns ingress frames dropped at one tenant's FIFO share
 // (0 when no scheduler is installed — unscheduled drops are global).

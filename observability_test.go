@@ -53,6 +53,11 @@ func populateFullRegistry(t *testing.T) *telemetry.Registry {
 	if err := sys.EnableTenantIsolation(map[uint32]int{1: 3, 2: 1}); err != nil {
 		t.Fatal(err)
 	}
+	// Flow cache before EnableTelemetry so the flowcache.* series and the
+	// per-tenant partition counters register.
+	if err := sys.EnableFlowCache(256); err != nil {
+		t.Fatal(err)
+	}
 	reg := sys.EnableTelemetry()
 	w := sys.World()
 

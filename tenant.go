@@ -9,10 +9,14 @@ import (
 // DDIO partition counters, and governor accounting, merged for ctl and
 // nnetstat. Fields that a disabled layer cannot fill stay zero.
 type TenantStatus struct {
-	Tenant      uint32 `json:"tenant"`
-	Weight      int    `json:"weight"`
-	PipeGrants  uint64 `json:"pipe_grants"`
-	DMAGrants   uint64 `json:"dma_grants"`
+	Tenant     uint32 `json:"tenant"`
+	Weight     int    `json:"weight"`
+	PipeGrants uint64 `json:"pipe_grants"`
+	DMAGrants  uint64 `json:"dma_grants"`
+	// PipeWaitNs/DMAWaitNs surface the scheduler's queue-wait accounting —
+	// computed since PR 7 but previously dropped on the way to ctl/nnetstat.
+	PipeWaitNs  uint64 `json:"pipe_wait_ns"`
+	DMAWaitNs   uint64 `json:"dma_wait_ns"`
 	FifoDrops   uint64 `json:"fifo_drops"`
 	DDIOWays    int    `json:"ddio_ways"`
 	DDIOHits    uint64 `json:"ddio_hits"`
@@ -54,6 +58,11 @@ func (s *System) EnableTenantIsolation(weights map[uint32]int) error {
 		}
 	}
 	s.w.NIC.SetTenantScheduler(weights)
+	if fc := s.w.NIC.FlowCache(); fc != nil {
+		if err := fc.SetQuotas(weights); err != nil {
+			return err
+		}
+	}
 	if s.gov != nil {
 		s.gov.ConfigureTenants(weights)
 	}
@@ -97,6 +106,8 @@ func (s *System) TenantsStatus() []TenantStatus {
 		r.Weight = st.Weight
 		r.PipeGrants = st.PipeGrants
 		r.DMAGrants = st.DMAGrants
+		r.PipeWaitNs = uint64(st.PipeWait / Nanosecond)
+		r.DMAWaitNs = uint64(st.DMAWait / Nanosecond)
 		r.FifoDrops = st.RxFifoDrops
 	}
 	if s.w.LLC != nil {
