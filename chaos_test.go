@@ -7,6 +7,8 @@ import (
 
 	"norman"
 	"norman/internal/faults"
+	"norman/internal/health"
+	"norman/internal/nic"
 	"norman/internal/overload"
 	"norman/internal/recovery"
 	"norman/internal/sim"
@@ -34,6 +36,17 @@ type chaosResult struct {
 	ReportInvariants bool
 	ReportRejected   int
 	RulesAfter       int
+
+	// PR 9 hardware-fault layer: injected fault counts, detection counters
+	// and the full health-monitor snapshot (per-component rows included).
+	LinkFlaps     uint64
+	SRAMFlips     uint64
+	DMAStalls     uint64
+	TrapStorms    uint64
+	CkFails       uint64
+	CorruptServed uint64
+	LinkDrops     uint64
+	Health        norman.HealthStatus
 }
 
 // chaosRun composes the three robustness layers this repo has grown — the
@@ -56,6 +69,19 @@ func chaosRun(t *testing.T) chaosResult {
 	})
 	sys.UseEchoPeer()
 
+	// The PR 9 hardware layer: a flow cache with entries worth corrupting, a
+	// cacheable ingress program worth storming, and the health monitor that
+	// quarantines whichever component the schedule below degrades.
+	if err := sys.EnableFlowCache(256); err != nil {
+		t.Fatal(err)
+	}
+	hm := sys.EnableHealth(health.Config{
+		SampleEvery:    10 * sim.Microsecond,
+		EscalateAfter:  1,
+		ProbationAfter: 4,
+		RestoreAfter:   2,
+	})
+
 	w := sys.World()
 	inj := faults.New(w.Eng, w.NIC, w.LLC, faults.Config{
 		Seed:  7,
@@ -64,6 +90,17 @@ func chaosRun(t *testing.T) chaosResult {
 		Ring:  faults.RingConfig{Period: 250 * sim.Microsecond, Window: 1, DDIOLines: 2048},
 	})
 	inj.AttachTx()
+	// The hardware fault schedule, interleaved with the crash/restart: a link
+	// flap well before the crash, an SRAM bit-flip burst after the restart
+	// has replayed the journal (so the burst corrupts a cache repopulated
+	// through recovery), a trap storm landing inside the flow-cache
+	// quarantine window (while the slow path is actually running the stormed
+	// machine), and a DMA stall near the end. Every class trips the monitor
+	// at least once.
+	inj.ScheduleLinkFlap(sim.Time(600*sim.Microsecond), 50*sim.Microsecond)
+	inj.ScheduleSRAMBurst(sim.Time(2500*sim.Microsecond), 128)
+	inj.ScheduleTrapStorm(nic.Ingress, sim.Time(2530*sim.Microsecond), 3, 2*sim.Microsecond, "chaos-storm")
+	inj.ScheduleDMAStall(sim.Time(3800*sim.Microsecond), 100*sim.Microsecond)
 
 	hi := sys.AddUser(1000, "hi")
 	lo := sys.AddUser(1001, "lo")
@@ -78,6 +115,14 @@ func chaosRun(t *testing.T) chaosResult {
 	}
 	// A filter rule installed pre-crash: the reconciler must carry it across.
 	if err := sys.IPTablesAppend(norman.Output, norman.Rule{Proto: "udp", DstPort: 9999, Action: "drop"}); err != nil {
+		t.Fatal(err)
+	}
+	// An ingress filter rule: its compiled program is flow-invariant, so the
+	// flow cache memoizes verdicts under it — the entries the SRAM burst
+	// corrupts and the machine the trap storm arms traps into. Installed via
+	// iptables (not a raw LoadProgram) so the journal replay reinstalls it
+	// across the crash.
+	if err := sys.IPTablesAppend(norman.Input, norman.Rule{Proto: "udp", DstPort: 9990, Action: "drop"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -140,6 +185,7 @@ func chaosRun(t *testing.T) chaosResult {
 	})
 
 	gov.Start(sim.Time(horizon))
+	hm.Start(sim.Time(horizon))
 	inj.Start(sim.Time(horizon))
 	sys.RunFor(horizon)
 	sys.Run() // drain in-flight echoes; the watchdog is paused for the drain
@@ -148,6 +194,16 @@ func chaosRun(t *testing.T) chaosResult {
 	res.TxCorrupted = inj.Tx.Corrupted
 	res.TxReordered = inj.Tx.Reordered
 	res.RingBursts = inj.RingBursts
+	res.LinkFlaps = inj.LinkFlaps
+	res.SRAMFlips = inj.SRAMFlips
+	res.DMAStalls = inj.DMAStalls
+	res.TrapStorms = inj.TrapStorms
+	if fc := w.NIC.FlowCache(); fc != nil {
+		res.CkFails = fc.ChecksumFails
+		res.CorruptServed = fc.CorruptServed
+	}
+	res.LinkDrops = w.NIC.RxLinkDrop
+	res.Health = sys.HealthStatus()
 
 	snap := gov.Snapshot()
 	res.Admitted = snap.Admitted
@@ -193,8 +249,8 @@ func TestChaosSoak(t *testing.T) {
 	if !r.ReportClean || !r.ReportInvariants {
 		t.Errorf("restart under pressure must reconcile clean with invariants ok: %+v", r)
 	}
-	if r.RulesAfter != 1 {
-		t.Errorf("rules after recovery = %d, want the pre-crash rule", r.RulesAfter)
+	if r.RulesAfter != 2 {
+		t.Errorf("rules after recovery = %d, want both pre-crash rules", r.RulesAfter)
 	}
 	// The faults actually bit, and traffic still flowed through all of it.
 	if r.TxLost == 0 || r.TxCorrupted == 0 || r.RingBursts == 0 {
@@ -206,6 +262,37 @@ func TestChaosSoak(t *testing.T) {
 	// The watchdog saw the ring bursts and cycled.
 	if r.Transitions == 0 || r.Signals == 0 {
 		t.Errorf("watchdog never reacted to pressure: %+v", r)
+	}
+	// Every hardware fault class fired and left its mark.
+	if r.LinkFlaps != 1 || r.DMAStalls != 1 || r.TrapStorms != 1 {
+		t.Errorf("hardware schedule incomplete: flaps=%d stalls=%d storms=%d, want 1 each",
+			r.LinkFlaps, r.DMAStalls, r.TrapStorms)
+	}
+	if r.SRAMFlips == 0 {
+		t.Error("the SRAM burst corrupted no live entries")
+	}
+	if r.LinkDrops == 0 {
+		t.Error("the link flap dropped no frames at the MAC")
+	}
+	// Detection, not service: with the monitor's checksum verification on,
+	// every corrupted entry is caught before its verdict is served.
+	if r.CkFails == 0 {
+		t.Error("corrupted entries were never detected")
+	}
+	if r.CorruptServed != 0 {
+		t.Errorf("%d corrupted verdicts served past verification", r.CorruptServed)
+	}
+	// The monitor cycled: link, flowcache and dma each quarantined and (the
+	// faults being transient) failed back; the rows cover all four components.
+	if !r.Health.Enabled {
+		t.Fatal("health monitor not enabled")
+	}
+	if r.Health.Quarantines < 3 || r.Health.Failbacks < 3 {
+		t.Errorf("health events: %d quarantines / %d failbacks, want >= 3 each: %+v",
+			r.Health.Quarantines, r.Health.Failbacks, r.Health)
+	}
+	if len(r.Health.Components) != 4 {
+		t.Fatalf("health rows = %d, want 4: %+v", len(r.Health.Components), r.Health.Components)
 	}
 
 	// And the entire composition is deterministic: a second execution of the

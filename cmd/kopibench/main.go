@@ -1,4 +1,4 @@
-// Command kopibench regenerates the paper-reproduction experiments (E1–E14
+// Command kopibench regenerates the paper-reproduction experiments (E1–E15
 // in DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -8,7 +8,7 @@
 //	kopibench -workers 4       # explicit worker count (implies -parallel)
 //	kopibench -e E3            # run one experiment
 //	kopibench -scale 0.3       # compress durations/sweeps for a quick pass
-//	kopibench -shards 8        # engine shards for E12–E14 (tables are shard-invariant)
+//	kopibench -shards 8        # engine shards for E12–E15 (tables are shard-invariant)
 //	kopibench -json            # also write BENCH_E*.json + BENCH_ENGINE.json
 //	kopibench -outdir results  # where -json baselines land (default .)
 //	kopibench -list            # list experiments
@@ -76,11 +76,12 @@ var registry = map[string]struct {
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE13(s, e12Shards); return t }},
 	"E14": {"flow-cache fast path: hit rate, interpreter cycles and tenant partitions vs a short-flow flood",
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE14(s, e12Shards); return t }},
+	"E15": {"hardware fault tolerance: link flap, SRAM flip burst and trap storm vs health quarantine + slow-path failover, seeded by NORMAN_FAULT_SEED",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE15(s, e12Shards); return t }},
 }
 
-// e12Shards is the -shards flag: how many engine shards E12, E13 and E14
-// spread their worlds over. The experiments' results are byte-identical at
-// any value.
+// e12Shards is the -shards flag: how many engine shards E12–E15 spread their
+// worlds over. The experiments' results are byte-identical at any value.
 var e12Shards = 1
 
 // e9Telemetry is the observability sink E9 fills when -metrics-out is set
@@ -118,7 +119,7 @@ type engineRecord struct {
 }
 
 func main() {
-	exp := flag.String("e", "", "experiment id (E1..E14); empty = all")
+	exp := flag.String("e", "", "experiment id (E1..E15); empty = all")
 	scale := flag.Float64("scale", 1.0, "duration/sweep scale factor (1.0 = full)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Bool("parallel", false, "fan each experiment's independent worlds across all cores")
@@ -127,7 +128,7 @@ func main() {
 	outdir := flag.String("outdir", ".", "directory -json baselines are written to")
 	metricsOut := flag.String("metrics-out", "", "write the E9 run's telemetry registry (Prometheus text) to this file")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the experiment runs to this file")
-	shards := flag.Int("shards", 1, "engine shards for E12–E14 (results are invariant across shard counts)")
+	shards := flag.Int("shards", 1, "engine shards for E12–E15 (results are invariant across shard counts)")
 	flag.Parse()
 	e12Shards = *shards
 

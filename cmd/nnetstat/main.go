@@ -14,7 +14,8 @@
 // DDIO partition hits and misses, and governor budgets and health. With
 // -flows it reports the NIC's exact-match flow cache: occupancy, hit/miss
 // and install/evict/invalidate accounting, and the per-tenant partition
-// rows.
+// rows. With -health it reports the NIC hardware-health monitor: aggregate
+// quarantine/failover/failback events and the per-component state rows.
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	shardsFlag := flag.Bool("shards", false, "show the daemon's engine shard coordinator (per-shard events, mailboxes, barrier stalls)")
 	tenantsFlag := flag.Bool("tenants", false, "show the daemon's per-tenant isolation status (scheduler grants, DDIO partition, budgets)")
 	flowsFlag := flag.Bool("flows", false, "show the NIC flow-cache status (occupancy, hit/miss, per-tenant partitions)")
+	healthFlag := flag.Bool("health", false, "show the NIC hardware-health monitor (component states, quarantines, failovers)")
 	flag.Parse()
 
 	c, err := ctl.Dial(*socket)
@@ -95,6 +97,29 @@ func main() {
 		for _, r := range data.Tenants {
 			fmt.Printf("  tenant %d: %d / %d entries, %d hits, %d installs, %d evictions, %d denied\n",
 				r.Tenant, r.Used, r.Quota, r.Hits, r.Installs, r.Evicts, r.Denied)
+		}
+		return
+	}
+
+	if *healthFlag {
+		var data ctl.HealthData
+		if err := c.Call(ctl.OpHealth, nil, &data); err != nil {
+			fatal(err)
+		}
+		if !data.Enabled {
+			fmt.Println("health: monitor not enabled on this daemon")
+			return
+		}
+		sampling := "stopped"
+		if data.Watching {
+			sampling = "sampling"
+		}
+		fmt.Printf("health: %s, %d samples\n", sampling, data.Samples)
+		fmt.Printf("events: %d quarantines, %d failovers, %d probes, %d failbacks\n",
+			data.Quarantines, data.Failovers, data.Probes, data.Failbacks)
+		for _, r := range data.Components {
+			fmt.Printf("  %-10s %-12s %d signals, %d quarantines, %d failovers, %d failbacks\n",
+				r.Component, r.State, r.Signals, r.Quarantines, r.Failovers, r.Failbacks)
 		}
 		return
 	}

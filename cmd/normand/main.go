@@ -22,6 +22,7 @@ import (
 
 	"norman"
 	"norman/internal/ctl"
+	"norman/internal/health"
 	"norman/internal/overload"
 	"norman/internal/packet"
 	"norman/internal/recovery"
@@ -58,6 +59,12 @@ func main() {
 	if err := sys.EnableFlowCache(1024); err != nil {
 		log.Fatalf("normand: flow cache: %v", err)
 	}
+	// Hardware-health monitoring over the NIC: flow-cache checksum failures,
+	// trap storms, DMA stalls and link flaps quarantine the failing component
+	// and fail traffic over to the kernel slow path; nnetstat -health reads
+	// the component rows. Enabled after the flow cache so checksum
+	// verification covers it from the first packet.
+	sys.EnableHealth(health.Config{}).Start(0)
 	// Observability on from the start: the metrics registry and the packet
 	// tracer feed nnetstat -metrics and ntcpdump -trace.
 	reg := sys.EnableTelemetry()

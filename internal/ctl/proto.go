@@ -47,6 +47,7 @@ const (
 	OpTenants       = "tenant.status"
 	OpShards        = "engine.shards"
 	OpFlowCache     = "flowcache.status"
+	OpHealth        = "health.status"
 )
 
 // IdempotentOp reports whether op is a read-only query the client may
@@ -57,7 +58,7 @@ func IdempotentOp(op string) bool {
 	switch op {
 	case OpStatus, OpIPTablesList, OpTCShow, OpDumpFetch, OpDumpPcap,
 		OpNetstat, OpARP, OpTelemetry, OpTrace, OpRecovery, OpOverload,
-		OpTenants, OpShards, OpFlowCache:
+		OpTenants, OpShards, OpFlowCache, OpHealth:
 		return true
 	}
 	return false
@@ -288,6 +289,32 @@ type FlowCacheTenRow struct {
 	Installs uint64 `json:"installs"`
 	Evicts   uint64 `json:"evictions"`
 	Denied   uint64 `json:"denied"`
+}
+
+// HealthData answers health.status: the NIC hardware-health monitor's
+// aggregate event counters plus one row per monitored component. Enabled
+// reports whether the daemon runs the monitor at all — a daemon without one
+// answers Enabled=false rather than erroring, so nnetstat -health degrades
+// gracefully.
+type HealthData struct {
+	Enabled     bool        `json:"enabled"`
+	Watching    bool        `json:"watching,omitempty"`
+	Samples     uint64      `json:"samples,omitempty"`
+	Quarantines uint64      `json:"quarantines,omitempty"`
+	Failovers   uint64      `json:"failovers,omitempty"`
+	Failbacks   uint64      `json:"failbacks,omitempty"`
+	Probes      uint64      `json:"probes,omitempty"`
+	Components  []HealthRow `json:"components,omitempty"`
+}
+
+// HealthRow is one monitored component's row within HealthData.
+type HealthRow struct {
+	Component   string `json:"component"`
+	State       string `json:"state"`
+	Signals     uint64 `json:"signals"`
+	Quarantines uint64 `json:"quarantines"`
+	Failovers   uint64 `json:"failovers"`
+	Failbacks   uint64 `json:"failbacks"`
 }
 
 // ShardsData is the engine shard coordinator's snapshot (engine.shards).

@@ -217,6 +217,8 @@ func (s *Server) dispatch(req Request) (data json.RawMessage, err error) {
 		return s.shardsStatus()
 	case OpFlowCache:
 		return s.flowcacheStatus()
+	case OpHealth:
+		return s.healthStatus()
 	default:
 		return nil, fmt.Errorf("ctl: unknown op %q", req.Op)
 	}
@@ -539,6 +541,37 @@ func (s *Server) flowcacheStatus() (json.RawMessage, error) {
 		data.Tenants = append(data.Tenants, FlowCacheTenRow{
 			Tenant: t.Tenant, Used: t.Used, Quota: t.Quota,
 			Hits: t.Hits, Installs: t.Installs, Evicts: t.Evicts, Denied: t.Denied,
+		})
+	}
+	return marshal(data)
+}
+
+// healthStatus reports the NIC hardware-health monitor's aggregate counters
+// and per-component state rows (health.status). A daemon without the monitor
+// answers Enabled=false rather than erroring, so nnetstat -health degrades
+// gracefully.
+func (s *Server) healthStatus() (json.RawMessage, error) {
+	st := s.sys.HealthStatus()
+	if !st.Enabled {
+		return marshal(HealthData{Enabled: false})
+	}
+	data := HealthData{
+		Enabled:     true,
+		Watching:    st.Watching,
+		Samples:     st.Samples,
+		Quarantines: st.Quarantines,
+		Failovers:   st.Failovers,
+		Failbacks:   st.Failbacks,
+		Probes:      st.Probes,
+	}
+	for _, c := range st.Components {
+		data.Components = append(data.Components, HealthRow{
+			Component:   c.Component,
+			State:       c.State,
+			Signals:     c.Signals,
+			Quarantines: c.Quarantines,
+			Failovers:   c.Failovers,
+			Failbacks:   c.Failbacks,
 		})
 	}
 	return marshal(data)

@@ -14,7 +14,12 @@
 //   - overlay runtime traps, armed one-shot into a loaded overlay machine
 //     (the NIC absorbs them by falling back to its last-good chain);
 //   - control-plane outages, exercised in wall-clock land through the
-//     Backoff schedule ctl.Client uses for its dial/request retries.
+//     Backoff schedule ctl.Client uses for its dial/request retries;
+//   - NIC hardware faults (PR 9): flow-cache SRAM bit flips that corrupt
+//     memoized verdicts, DMA-engine stalls, physical link flaps, overlay
+//     trap storms and bitstream-reload hangs — the component-level failure
+//     modes the internal/health monitor detects and quarantines, failing
+//     traffic over to the kernel interposition slow path.
 //
 // Every decision comes from sim.RNG streams derived from Config.Seed plus a
 // per-direction label, so the same seed replays the same fault pattern
@@ -99,6 +104,7 @@ type Injector struct {
 
 	txRNG *sim.RNG
 	rxRNG *sim.RNG
+	hwRNG *sim.RNG // hardware fault placement (SRAM flip slots)
 
 	// tracer, when set via SetTracer, records a span event for every fault
 	// decision that touches a traced packet.
@@ -114,6 +120,13 @@ type Injector struct {
 	// pipeline programs, dropped steering rows) — the divergence the crash
 	// reconciler must detect and repair.
 	NICStateLosses uint64
+	// Hardware fault counters (one per scheduled class; see the Schedule*
+	// methods below).
+	SRAMFlips      uint64 // flow-cache entries actually corrupted
+	LinkFlaps      uint64
+	DMAStalls      uint64
+	TrapStorms     uint64
+	BitstreamHangs uint64
 }
 
 // New builds an injector over a world's engine, NIC and (optionally nil)
@@ -126,6 +139,7 @@ func New(eng *sim.Engine, n *nic.NIC, llc *cache.LLC, cfg Config) *Injector {
 		cfg:   cfg,
 		txRNG: sim.NewRNG(cfg.Seed, "faults.tx."+cfg.Label),
 		rxRNG: sim.NewRNG(cfg.Seed, "faults.rx."+cfg.Label),
+		hwRNG: sim.NewRNG(cfg.Seed, "faults.hw."+cfg.Label),
 	}
 }
 
@@ -171,6 +185,16 @@ func (i *Injector) RegisterMetrics(r *telemetry.Registry, labels telemetry.Label
 		labels, func() uint64 { return i.OverlayTraps })
 	r.Counter(telemetry.Desc{Layer: "faults", Name: "nic_state_losses", Help: "NIC-resident state losses injected (programs unloaded, steering rows dropped)", Unit: "losses"},
 		labels, func() uint64 { return i.NICStateLosses })
+	r.Counter(telemetry.Desc{Layer: "faults", Name: "sram_flips", Help: "flow-cache SRAM bit flips injected (live entries corrupted)", Unit: "flips"},
+		labels, func() uint64 { return i.SRAMFlips })
+	r.Counter(telemetry.Desc{Layer: "faults", Name: "link_flaps", Help: "physical link flaps injected", Unit: "flaps"},
+		labels, func() uint64 { return i.LinkFlaps })
+	r.Counter(telemetry.Desc{Layer: "faults", Name: "dma_stalls", Help: "DMA-engine stalls injected", Unit: "stalls"},
+		labels, func() uint64 { return i.DMAStalls })
+	r.Counter(telemetry.Desc{Layer: "faults", Name: "trap_storms", Help: "overlay trap storms injected", Unit: "storms"},
+		labels, func() uint64 { return i.TrapStorms })
+	r.Counter(telemetry.Desc{Layer: "faults", Name: "bitstream_hangs", Help: "bitstream-reload hangs injected", Unit: "hangs"},
+		labels, func() uint64 { return i.BitstreamHangs })
 }
 
 // AttachTx splices the Tx wire-fault model into the NIC's transmit hand-off,
@@ -333,6 +357,82 @@ func (i *Injector) ScheduleNICStateLoss(dir nic.Direction, flow packet.FlowKey, 
 		if flow != (packet.FlowKey{}) && i.nic.DropSteering(flow) {
 			i.NICStateLosses++
 		}
+	})
+}
+
+// ScheduleSRAMBurst arms a burst of flow-cache SRAM bit flips at virtual
+// time at: flips random slot indexes (drawn from the hw RNG stream, so the
+// pattern depends only on seed and label) are corrupted in place — verdict
+// bit inverted, checksum left stale. Flips landing in empty slots are
+// harmless, as on real hardware; SRAMFlips counts only the entries actually
+// corrupted. With verification off (raw bypass) the corrupted verdicts are
+// silently served; with it on they surface as checksum failures the health
+// monitor quarantines on.
+func (i *Injector) ScheduleSRAMBurst(at sim.Time, flips int) {
+	i.eng.At(at, func() {
+		fc := i.nic.FlowCache()
+		if fc == nil || flips <= 0 {
+			return
+		}
+		cap := fc.Capacity()
+		for f := 0; f < flips; f++ {
+			if fc.Corrupt(int(i.hwRNG.Int63() % int64(cap))) {
+				i.SRAMFlips++
+			}
+		}
+	})
+}
+
+// ScheduleLinkFlap arms a link flap at virtual time at: the physical link
+// goes down for d, dropping every ingress frame at the MAC, then comes back.
+// A flap scheduled while the link is already down is skipped (flaps do not
+// nest; the earlier flap's restore stands).
+func (i *Injector) ScheduleLinkFlap(at sim.Time, d sim.Duration) {
+	i.eng.At(at, func() {
+		if !i.nic.LinkUp() || d <= 0 {
+			return
+		}
+		i.LinkFlaps++
+		i.nic.SetLink(false)
+		i.eng.After(d, func() { i.nic.SetLink(true) })
+	})
+}
+
+// ScheduleDMAStall arms a DMA-engine stall at virtual time at: the engine is
+// occupied for d (a wedged PCIe credit exchange), so every descriptor fetch
+// and payload move queued behind it waits — ingress backs up into the FIFO
+// and, unchecked, overflows it.
+func (i *Injector) ScheduleDMAStall(at sim.Time, d sim.Duration) {
+	i.eng.At(at, func() {
+		if d <= 0 {
+			return
+		}
+		i.DMAStalls++
+		i.nic.StallDMA(d)
+	})
+}
+
+// ScheduleTrapStorm arms count back-to-back runtime traps on dir starting at
+// virtual time at, spaced gap apart — the repeated-fault pattern that should
+// push the health monitor past its hysteresis threshold where a single
+// absorbed trap would not.
+func (i *Injector) ScheduleTrapStorm(dir nic.Direction, at sim.Time, count int, gap sim.Duration, reason string) {
+	if count <= 0 {
+		return
+	}
+	i.eng.At(at, func() { i.TrapStorms++ })
+	for t := 0; t < count; t++ {
+		i.ScheduleOverlayTrap(dir, at.Add(sim.Duration(t)*gap), reason)
+	}
+}
+
+// ScheduleBitstreamHang arms a bitstream-reload hang at virtual time at: the
+// dataplane reconfigures and stays down for d (0 = the paper's multi-second
+// default), clearing all loaded programs and dynamic state.
+func (i *Injector) ScheduleBitstreamHang(at sim.Time, d sim.Duration) {
+	i.eng.At(at, func() {
+		i.BitstreamHangs++
+		i.nic.ReloadBitstream(i.eng.Now(), d)
 	})
 }
 

@@ -1,0 +1,451 @@
+// Package health is Norman's NIC hardware-health monitor: the subsystem that
+// makes the paper's always-available kernel slow path *operational* under
+// hardware faults instead of merely present. The faults layer can flip
+// flow-cache SRAM bits, stall the DMA engine, flap the link and storm the
+// overlay pipeline with traps; this package watches the per-component error
+// and latency signals those faults move, and on sustained degradation
+// quarantines the failing component — failing its traffic over to the kernel
+// interposition slow path — then probes and restores it after a probation
+// window.
+//
+// The state machine per component (DESIGN.md §11):
+//
+//	Healthy --EscalateAfter faulty samples--> Quarantined   (failover)
+//	Quarantined --ProbationAfter calm samples--> Probation  (probe)
+//	Probation --faulty sample--> Quarantined                (relapse)
+//	Probation --RestoreAfter calm samples--> Healthy        (failback)
+//
+// Quarantine actions per component:
+//
+//   - flowcache: bypass + flush the cache (every packet takes the full
+//     interpretation slow path; nothing memoized under corrupted SRAM
+//     survives);
+//   - pipeline: reinstall the last-good overlay chain;
+//   - dma: clamp the ingress FIFO to a small bound so a stalled engine
+//     back-pressures the wire instead of queueing unbounded work;
+//   - link: bookkeeping only — carrier loss is announced by the MAC and
+//     recovers by itself; the monitor's job is to count and trace it.
+//
+// Probing undoes the action; a relapse during probation re-applies it. All
+// sampling runs on the world's virtual-time engine with no RNG draws, so the
+// monitor is deterministic by construction and byte-identical at any worker
+// width.
+package health
+
+import (
+	"norman/internal/nic"
+	"norman/internal/sim"
+	"norman/internal/telemetry"
+)
+
+// Component names one monitored NIC component.
+type Component string
+
+// Monitored components, in the (alphabetical) order Status reports them.
+const (
+	DMA       Component = "dma"
+	FlowCache Component = "flowcache"
+	Link      Component = "link"
+	Pipeline  Component = "pipeline"
+)
+
+// State is a component's health state.
+type State int
+
+// States.
+const (
+	Healthy State = iota
+	Quarantined
+	Probation
+)
+
+func (s State) String() string {
+	switch s {
+	case Quarantined:
+		return "quarantined"
+	case Probation:
+		return "probation"
+	default:
+		return "healthy"
+	}
+}
+
+// Config tunes the monitor. The zero value is usable: every knob has a
+// default chosen so the E15 fault schedule is detected within a few samples
+// without a single absorbed trap tripping a quarantine.
+type Config struct {
+	// SampleEvery is the signal sampling period (default 5 µs).
+	SampleEvery sim.Duration
+	// EscalateAfter is how many consecutive faulty samples quarantine a
+	// component (default 2 — hysteresis against one-off blips).
+	EscalateAfter int
+	// ProbationAfter is how many consecutive calm samples a quarantined
+	// component needs before the monitor probes it (default 6).
+	ProbationAfter int
+	// RestoreAfter is how many consecutive calm samples a probing component
+	// needs before it is restored to healthy (default 3).
+	RestoreAfter int
+	// DMAStallFrac is the fraction of a sample period the DMA engine may
+	// spend stalled before the dma component counts as faulty (default 0.5).
+	DMAStallFrac float64
+	// DMAQueueBound is the ingress FIFO depth a quarantined dma component is
+	// clamped to — the bounded queue that converts a stalled engine into
+	// wire backpressure instead of unbounded buffering (default 16).
+	DMAQueueBound int
+}
+
+func (c Config) sampleEvery() sim.Duration {
+	if c.SampleEvery > 0 {
+		return c.SampleEvery
+	}
+	return 5 * sim.Microsecond
+}
+
+func (c Config) escalateAfter() int {
+	if c.EscalateAfter > 0 {
+		return c.EscalateAfter
+	}
+	return 2
+}
+
+func (c Config) probationAfter() int {
+	if c.ProbationAfter > 0 {
+		return c.ProbationAfter
+	}
+	return 6
+}
+
+func (c Config) restoreAfter() int {
+	if c.RestoreAfter > 0 {
+		return c.RestoreAfter
+	}
+	return 3
+}
+
+func (c Config) dmaStallFrac() float64 {
+	if c.DMAStallFrac > 0 {
+		return c.DMAStallFrac
+	}
+	return 0.5
+}
+
+func (c Config) dmaQueueBound() int {
+	if c.DMAQueueBound > 0 {
+		return c.DMAQueueBound
+	}
+	return 16
+}
+
+// comp is one component's runtime state.
+type comp struct {
+	name       Component
+	state      State
+	hotStreak  int // consecutive faulty samples while healthy
+	calmStreak int // consecutive calm samples while quarantined/probing
+	faulty     bool
+
+	// Event counters, surfaced in Status and metrics.
+	signals     uint64 // faulty samples observed
+	quarantines uint64
+	failovers   uint64
+	failbacks   uint64
+
+	savedWindow int // dma: the rxWindow to restore on probe
+}
+
+// ComponentStatus is one component's externally visible health row.
+type ComponentStatus struct {
+	Component   Component
+	State       State
+	Signals     uint64
+	Quarantines uint64
+	Failovers   uint64
+	Failbacks   uint64
+}
+
+// Monitor samples one NIC's component health signals and drives the
+// quarantine/probation state machine. Like everything else on the dataplane
+// it lives on one engine's event loop and is not safe for concurrent use.
+type Monitor struct {
+	eng    *sim.Engine
+	n      *nic.NIC
+	cfg    Config
+	tracer *telemetry.Tracer
+
+	comps    []*comp
+	until    sim.Time
+	watchGen uint64
+	running  bool
+
+	// Previous counter snapshots for delta signals.
+	prevStallNs uint64
+	prevCkFails uint64
+	prevTraps   uint64
+
+	// Aggregate event counters.
+	Samples     uint64
+	Quarantines uint64
+	Failovers   uint64
+	Failbacks   uint64
+	Probes      uint64
+}
+
+// New builds a monitor over a world's engine and NIC. Creating the monitor
+// turns on flow-cache checksum verification (the detection half of the
+// failover story); it is re-asserted on every sample so a cache enabled
+// after the monitor is still covered.
+func New(eng *sim.Engine, n *nic.NIC, cfg Config) *Monitor {
+	m := &Monitor{
+		eng: eng,
+		n:   n,
+		cfg: cfg,
+		comps: []*comp{
+			{name: DMA},
+			{name: FlowCache},
+			{name: Link},
+			{name: Pipeline},
+		},
+	}
+	if fc := n.FlowCache(); fc != nil {
+		fc.SetVerify(true)
+	}
+	return m
+}
+
+// SetTracer attaches a trace sink: every quarantine, failover, probe and
+// failback becomes a span event on the "health" layer.
+func (m *Monitor) SetTracer(tr *telemetry.Tracer) { m.tracer = tr }
+
+// span records one health lifecycle event when tracing is on.
+func (m *Monitor) span(now sim.Time, point string, c *comp) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Record(m.tracer.StampID(), now, "health", point, "component="+string(c.name))
+}
+
+// Start arms the sampler until the given virtual time (0 = forever).
+func (m *Monitor) Start(until sim.Time) {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.until = until
+	m.watchGen++
+	gen := m.watchGen
+	m.eng.After(m.cfg.sampleEvery(), func() { m.tick(gen) })
+}
+
+// Stop halts the sampler; in-flight ticks become no-ops. Component states
+// (and any active quarantine actions) are retained.
+func (m *Monitor) Stop() {
+	m.running = false
+	m.watchGen++
+}
+
+// Running reports whether the sampler is armed.
+func (m *Monitor) Running() bool { return m.running }
+
+func (m *Monitor) tick(gen uint64) {
+	if gen != m.watchGen {
+		return
+	}
+	now := m.eng.Now()
+	if m.until != 0 && now.After(m.until) {
+		m.running = false
+		return
+	}
+	m.sample(now)
+	m.eng.After(m.cfg.sampleEvery(), func() { m.tick(gen) })
+}
+
+// sample reads each component's signal once and advances its state machine.
+// Signals are counter deltas (or levels) over one period, so a burst that
+// happened entirely inside a period is seen exactly once — and a component
+// must stay noisy across EscalateAfter periods to be quarantined.
+func (m *Monitor) sample(now sim.Time) {
+	m.Samples++
+	if fc := m.n.FlowCache(); fc != nil && !fc.Verify() {
+		fc.SetVerify(true)
+	}
+
+	// DMA: injected stall time per period against the allowed fraction.
+	stall := m.n.DMAStallNs
+	dStall := stall - m.prevStallNs
+	m.prevStallNs = stall
+	budget := uint64(float64(m.cfg.sampleEvery()/sim.Nanosecond) * m.cfg.dmaStallFrac())
+
+	// Flow cache: detected checksum failures per period.
+	var ck uint64
+	if fc := m.n.FlowCache(); fc != nil {
+		ck = fc.ChecksumFails
+	}
+	dCk := ck - m.prevCkFails
+	m.prevCkFails = ck
+
+	// Pipeline: traps absorbed (fallbacks) or terminal (fail-opens).
+	traps := m.n.TrapFallbacks + m.n.TrapFailOpens
+	dTraps := traps - m.prevTraps
+	m.prevTraps = traps
+
+	for _, c := range m.comps {
+		switch c.name {
+		case DMA:
+			c.faulty = dStall > budget
+		case FlowCache:
+			c.faulty = dCk > 0
+		case Link:
+			c.faulty = !m.n.LinkUp()
+		case Pipeline:
+			c.faulty = dTraps > 0
+		}
+		if c.faulty {
+			c.signals++
+		}
+		m.advance(now, c)
+	}
+}
+
+// advance runs one component's state machine for one sample.
+func (m *Monitor) advance(now sim.Time, c *comp) {
+	switch c.state {
+	case Healthy:
+		if !c.faulty {
+			c.hotStreak = 0
+			return
+		}
+		c.hotStreak++
+		if c.hotStreak >= m.cfg.escalateAfter() {
+			m.quarantine(now, c)
+		}
+	case Quarantined:
+		if c.faulty {
+			c.calmStreak = 0
+			return
+		}
+		c.calmStreak++
+		if c.calmStreak >= m.cfg.probationAfter() {
+			m.probe(now, c)
+		}
+	case Probation:
+		if c.faulty {
+			// Relapse: the fault came back the moment the component was
+			// trusted again — re-quarantine (a fresh event, counted again).
+			m.quarantine(now, c)
+			return
+		}
+		c.calmStreak++
+		if c.calmStreak >= m.cfg.restoreAfter() {
+			c.state = Healthy
+			c.calmStreak = 0
+			c.failbacks++
+			m.Failbacks++
+			m.span(now, "failback", c)
+		}
+	}
+}
+
+// quarantine applies the component's failover action and marks it
+// quarantined. One fault event counts exactly once here regardless of how
+// many packets it touched — the per-retry inflation the trap-fallback audit
+// removed.
+func (m *Monitor) quarantine(now sim.Time, c *comp) {
+	c.state = Quarantined
+	c.hotStreak = 0
+	c.calmStreak = 0
+	c.quarantines++
+	m.Quarantines++
+	m.span(now, "quarantine", c)
+	switch c.name {
+	case FlowCache:
+		// Disable the cache without releasing its SRAM: every packet runs
+		// full interpretation — the kernel slow path the paper keeps warm.
+		m.n.SetFlowCacheBypass(true)
+	case Pipeline:
+		// Swap the storming chain out for the last-good one (the E4 reload
+		// machinery in reverse). If none exists the trap fallback has
+		// already failed open; there is nothing further to fail over to.
+		m.n.ReinstallLastGood(nic.Ingress)
+	case DMA:
+		// Bound the ingress queue so a stalled engine back-pressures the
+		// wire (FIFO drops the governor can see) instead of hoarding frames.
+		if c.savedWindow == 0 {
+			c.savedWindow = m.n.RxWindow()
+		}
+		if bound := m.cfg.dmaQueueBound(); m.n.RxWindow() > bound {
+			m.n.SetRxWindow(bound)
+		}
+	case Link:
+		// Carrier loss announces itself and heals itself; nothing to do.
+	}
+	c.failovers++
+	m.Failovers++
+	m.span(now, "failover", c)
+}
+
+// probe undoes the quarantine action and moves the component to probation:
+// the fast path is trusted again, under watch — a relapse re-quarantines.
+func (m *Monitor) probe(now sim.Time, c *comp) {
+	c.state = Probation
+	c.calmStreak = 0
+	m.Probes++
+	m.span(now, "probe", c)
+	switch c.name {
+	case FlowCache:
+		m.n.SetFlowCacheBypass(false)
+	case DMA:
+		if c.savedWindow > 0 {
+			m.n.SetRxWindow(c.savedWindow)
+			c.savedWindow = 0
+		}
+	case Pipeline, Link:
+		// The last-good chain stays (it is the restored state); the link
+		// restored itself.
+	}
+}
+
+// Status returns one row per component in alphabetical component order —
+// deterministic, snapshot semantics.
+func (m *Monitor) Status() []ComponentStatus {
+	out := make([]ComponentStatus, 0, len(m.comps))
+	for _, c := range m.comps {
+		out = append(out, ComponentStatus{
+			Component:   c.name,
+			State:       c.state,
+			Signals:     c.signals,
+			Quarantines: c.quarantines,
+			Failovers:   c.failovers,
+			Failbacks:   c.failbacks,
+		})
+	}
+	return out
+}
+
+// RegisterMetrics exposes the monitor's counters and per-component state on
+// a telemetry registry (the norman_health_* series in OBSERVABILITY.md).
+func (m *Monitor) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
+	r.Counter(telemetry.Desc{Layer: "health", Name: "samples", Help: "health sampling ticks", Unit: "samples"},
+		labels, func() uint64 { return m.Samples })
+	r.Counter(telemetry.Desc{Layer: "health", Name: "quarantines", Help: "component quarantine events (one per fault event, not per retry)", Unit: "events"},
+		labels, func() uint64 { return m.Quarantines })
+	r.Counter(telemetry.Desc{Layer: "health", Name: "failovers", Help: "failover actions applied (traffic moved to the kernel slow path)", Unit: "events"},
+		labels, func() uint64 { return m.Failovers })
+	r.Counter(telemetry.Desc{Layer: "health", Name: "failbacks", Help: "components restored to healthy after probation", Unit: "events"},
+		labels, func() uint64 { return m.Failbacks })
+	r.Counter(telemetry.Desc{Layer: "health", Name: "probes", Help: "probation probes (quarantine action undone, component under watch)", Unit: "events"},
+		labels, func() uint64 { return m.Probes })
+	for _, c := range m.comps {
+		c := c
+		cl := make(telemetry.Labels, len(labels)+1)
+		for k, v := range labels {
+			cl[k] = v
+		}
+		cl["component"] = string(c.name)
+		r.Gauge(telemetry.Desc{Layer: "health", Name: "component_state", Help: "component health state (0 healthy, 1 quarantined, 2 probation)", Unit: "state"},
+			cl, func() float64 { return float64(c.state) })
+		r.Counter(telemetry.Desc{Layer: "health", Name: "component_signal", Help: "faulty samples observed for the component", Unit: "samples"},
+			cl, func() uint64 { return c.signals })
+		r.Counter(telemetry.Desc{Layer: "health", Name: "component_quarantines", Help: "quarantine events for the component", Unit: "events"},
+			cl, func() uint64 { return c.quarantines })
+	}
+}

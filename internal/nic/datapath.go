@@ -369,6 +369,14 @@ func (n *NIC) rxFrame(p *packet.Packet) {
 		}
 		n.trace(p, now, "nic", "rx_wire", fmt.Sprintf("len=%d", p.FrameLen()))
 	}
+	if !n.linkUp {
+		// The MAC has no carrier: the frame never makes it off the wire.
+		// Announced loss (the link state is visible to the health monitor),
+		// unlike a silent FIFO overflow.
+		n.RxLinkDrop++
+		n.trace(p, now, "nic", "rx_link_down", "")
+		return
+	}
 	if n.tsched != nil {
 		n.rxFrameSched(p, now)
 		return

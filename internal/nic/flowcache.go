@@ -52,9 +52,15 @@ type flowEntry struct {
 	mark    uint32
 	class   uint32
 	hits    uint64
+	sum     uint32 // per-entry checksum over the decision fields (SRAM ECC stand-in)
 	verdict overlay.Verdict
 	ref     bool // clock second-chance bit
 	valid   bool
+	// tainted is the simulation's ground truth: an injected SRAM bit flip
+	// landed here and the decision fields no longer match what the slow path
+	// computed. The hardware cannot read this bit — it can only notice the
+	// checksum mismatch, and only when verification is enabled.
+	tainted bool
 }
 
 // FlowTenantStats is one tenant's slice of the flow-cache accounting:
@@ -89,6 +95,14 @@ type FlowCache struct {
 	perTenant map[uint32]*FlowTenantStats
 	order     []uint32 // sorted tenant ids for deterministic iteration
 
+	// verify, when set, checks every hit's per-entry checksum before the
+	// memoized decision is served: a mismatch (an SRAM bit flip landed in the
+	// entry) is counted, the entry is dropped, and the packet takes the slow
+	// path — the detection half of the health subsystem's failover story.
+	// Off (the raw-bypass posture), a corrupted entry's verdict is served
+	// as-is.
+	verify bool
+
 	// Global counters (Hits + Misses covers every lookup; Installs −
 	// Evictions − Invalidations == live entries, the conservation ledger
 	// the property tests pin).
@@ -101,6 +115,14 @@ type FlowCache struct {
 	// was full and no same-tenant victim shared the bucket — the typed,
 	// accounted form of cross-tenant cache pressure.
 	Denied uint64
+	// ChecksumFails counts hits refused because the entry's checksum no
+	// longer matched its decision fields (detected SRAM corruption); each is
+	// also an Invalidation, so the conservation ledger stays balanced.
+	ChecksumFails uint64
+	// CorruptServed counts lookups that applied a tainted entry's decision —
+	// ground-truth accounting of silent verdict corruption, only ever
+	// non-zero while verification is off.
+	CorruptServed uint64
 }
 
 // newFlowCache builds a cache with at least `entries` slots, rounded up to a
@@ -242,6 +264,53 @@ func flowHash(k packet.FlowKey) uint32 {
 	return h
 }
 
+// entrySum is the per-entry checksum the lookup engine can verify in the
+// same SRAM row read as the entry itself: an FNV-style mix of every field
+// whose corruption would change the cached decision. A bit flip in the
+// verdict, rewrite or steering fields breaks the sum; recomputing on every
+// install keeps it current.
+func entrySum(e *flowEntry) uint32 {
+	h := flowHash(e.key)
+	mix := func(v uint32) {
+		h ^= v
+		h *= 16777619
+	}
+	mix(uint32(e.connID))
+	mix(uint32(e.connID >> 32))
+	mix(e.tenant)
+	mix(e.mark)
+	mix(e.class)
+	mix(uint32(e.verdict))
+	return h
+}
+
+// SetVerify enables (or disables) per-entry checksum verification on lookup.
+// The health monitor turns it on; a raw-bypass world leaves it off and serves
+// whatever the SRAM holds.
+func (f *FlowCache) SetVerify(on bool) { f.verify = on }
+
+// Verify reports whether checksum verification is enabled.
+func (f *FlowCache) Verify() bool { return f.verify }
+
+// Corrupt models one SRAM bit flip landing in the entry at the given flat
+// slot index: the verdict bit and a mark bit are inverted without updating
+// the checksum, and the entry is marked tainted (the simulation's ground
+// truth). Returns false when the slot holds no live entry — flips in empty
+// rows are harmless, exactly as on real hardware.
+func (f *FlowCache) Corrupt(slot int) bool {
+	if len(f.entries) == 0 {
+		return false
+	}
+	e := &f.entries[slot%len(f.entries)]
+	if !e.valid {
+		return false
+	}
+	e.verdict ^= 1 // pass <-> drop
+	e.mark ^= 0x10
+	e.tainted = true
+	return true
+}
+
 // bucket returns the slice of ways for a key's bucket plus the bucket index.
 func (f *FlowCache) bucket(k packet.FlowKey) (int, []flowEntry) {
 	b := int(flowHash(k) & f.mask)
@@ -256,6 +325,18 @@ func (f *FlowCache) Lookup(k packet.FlowKey) (*flowEntry, bool) {
 	for i := range row {
 		e := &row[i]
 		if e.valid && e.key == k {
+			if f.verify && entrySum(e) != e.sum {
+				// Detected SRAM corruption: refuse the memoized decision,
+				// drop the entry, and miss — the packet takes the slow path
+				// and the health monitor sees the failure count move.
+				f.ChecksumFails++
+				f.drop(e)
+				f.Misses++
+				return nil, false
+			}
+			if e.tainted {
+				f.CorruptServed++
+			}
 			e.ref = true
 			e.hits++
 			f.Hits++
@@ -280,10 +361,24 @@ func (f *FlowCache) Install(k packet.FlowKey, connID uint64, tenant uint32, verd
 	for i := range row {
 		e := &row[i]
 		if e.valid && e.key == k {
+			if e.tenant != tenant {
+				// The key changed hands (steering rewired the flow to another
+				// tenant's connection): refreshing in place would leave the old
+				// owner's partition accounting inflated forever. Drop the stale
+				// entry and take the normal install path so the new owner's
+				// quota binds.
+				f.drop(e)
+				if free == nil {
+					free = e
+				}
+				break
+			}
 			// Re-install over the existing entry (a slow-path rerun after a
 			// racing invalidation): refresh the decision in place.
-			e.connID, e.tenant = connID, tenant
+			e.connID = connID
 			e.verdict, e.mark, e.class = verdict, mark, class
+			e.sum = entrySum(e)
+			e.tainted = false
 			e.ref = true
 			return true
 		}
@@ -319,6 +414,7 @@ func (f *FlowCache) Install(k packet.FlowKey, connID uint64, tenant uint32, verd
 func (f *FlowCache) fill(e *flowEntry, k packet.FlowKey, connID uint64, tenant uint32, verdict overlay.Verdict, mark, class uint32) {
 	*e = flowEntry{key: k, connID: connID, tenant: tenant, verdict: verdict,
 		mark: mark, class: class, ref: true, valid: true}
+	e.sum = entrySum(e)
 	f.used++
 	f.Installs++
 	f.tenantStats(tenant).Installs++
@@ -486,7 +582,7 @@ func (n *NIC) FlowCache() *FlowCache { return n.fc }
 // program, steered connection and a parseable 5-tuple are all required —
 // anything else is a slow-path packet by construction.
 func (n *NIC) fcLookup(p *packet.Packet, c *Conn) (*flowEntry, bool) {
-	if n.fc == nil || !n.ingressCacheable || c == nil {
+	if n.fc == nil || n.fcBypass || !n.ingressCacheable || c == nil {
 		return nil, false
 	}
 	k, ok := p.Flow()
@@ -500,7 +596,7 @@ func (n *NIC) fcLookup(p *packet.Packet, c *Conn) (*flowEntry, bool) {
 // the fallback swap already flushed the cache and the verdict came from a
 // different chain than the one now loaded.
 func (n *NIC) fcInstall(p *packet.Packet, c *Conn, verdict overlay.Verdict, trapped bool) {
-	if n.fc == nil || !n.ingressCacheable || c == nil || trapped {
+	if n.fc == nil || n.fcBypass || !n.ingressCacheable || c == nil || trapped {
 		return
 	}
 	k, ok := p.Flow()

@@ -153,6 +153,16 @@ type NIC struct {
 	// memoized.
 	fc               *FlowCache
 	ingressCacheable bool
+	// fcBypass, when set, disables flow-cache lookups and installs without
+	// releasing the cache's SRAM: the health monitor's quarantine posture for
+	// a cache serving corrupted entries. Every packet takes the slow path
+	// until probation re-enables it.
+	fcBypass bool
+
+	// linkUp models the physical link state. A down link drops ingress frames
+	// at the MAC (counted in RxLinkDrop); the fault layer flaps it and the
+	// health monitor watches it.
+	linkUp bool
 
 	// lastGood remembers, per pipeline, the previously installed program —
 	// the chain that was demonstrably processing traffic before the latest
@@ -221,7 +231,11 @@ type NIC struct {
 	// RxShed counts ingress frames dropped by the installed shed policy —
 	// deliberate, priority-aware load shedding, distinct from the
 	// involuntary FIFO/ring drops above.
-	RxShed        uint64
+	RxShed uint64
+	// RxLinkDrop counts ingress frames lost because the physical link was
+	// down (a link flap) — loss the wire itself announces, unlike the silent
+	// FIFO drops above.
+	RxLinkDrop    uint64
 	TxFrames      uint64
 	TxDropVerdict uint64
 	TxBytes       uint64
@@ -231,6 +245,14 @@ type NIC struct {
 	// the last-good chain (or failing open) instead of crashing — the
 	// graceful-degradation metric E9 reports.
 	TrapFallbacks uint64
+	// TrapFailOpens counts the double-trap terminal case: the fallback chain
+	// itself trapped, so the pipeline was unloaded and the packet passed
+	// unfiltered. Distinct from TrapFallbacks — failing open is not a
+	// fallback, and conflating them double-counts one fault.
+	TrapFailOpens uint64
+	// DMAStallNs accumulates injected DMA-engine stall time in nanoseconds —
+	// the health monitor's latency signal for the dma component.
+	DMAStallNs uint64
 	// IngressProgCycles accumulates the overlay cycles the ingress pipeline
 	// actually interpreted — flow-cache hits add nothing here, which is how
 	// E14 shows the fast path's per-packet cost collapsing to one lookup.
@@ -270,6 +292,7 @@ func New(cfg Config) *NIC {
 		sramBudget: cfg.SRAMBudget,
 		txWindow:   32,
 		rxWindow:   128,
+		linkUp:     true,
 	}
 }
 
@@ -504,6 +527,68 @@ func (n *NIC) RingSize() int { return n.ringSize }
 // before the frame consumes FIFO or DMA resources; returning true drops the
 // frame and counts it in RxShed. Nil keeps the hot path a single branch.
 func (n *NIC) SetShedPolicy(f func(c *Conn, p *packet.Packet) bool) { n.shedPolicy = f }
+
+// SetLink raises or lowers the physical link. While down, ingress frames are
+// dropped at the MAC and counted in RxLinkDrop; egress is unaffected (the
+// wire server still serializes, modeling a local fault, not a cut cable).
+func (n *NIC) SetLink(up bool) { n.linkUp = up }
+
+// LinkUp reports the physical link state.
+func (n *NIC) LinkUp() bool { return n.linkUp }
+
+// StallDMA occupies the DMA engine for the given duration starting now —
+// a wedged PCIe credit exchange or a firmware hiccup. Every descriptor fetch
+// and payload DMA queued behind it waits it out; the stall time accumulates
+// in DMAStallNs for the health monitor to see.
+func (n *NIC) StallDMA(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.dma.Acquire(n.eng.Now(), d)
+	n.DMAStallNs += uint64(d / sim.Nanosecond)
+}
+
+// SetFlowCacheBypass quarantines (true) or restores (false) the flow cache
+// without releasing its SRAM: lookups and installs stop, every packet runs
+// the full ingress chain. Entering bypass flushes the cache so nothing
+// memoized under the corrupted SRAM survives restoration.
+func (n *NIC) SetFlowCacheBypass(on bool) {
+	if on && !n.fcBypass {
+		n.fcFlush()
+	}
+	n.fcBypass = on
+}
+
+// FlowCacheBypassed reports whether the flow cache is quarantined.
+func (n *NIC) FlowCacheBypassed() bool { return n.fcBypass }
+
+// ReinstallLastGood swaps the given pipeline back to its last-good program —
+// the health monitor's quarantine action for a trap-storming chain. Returns
+// false when there is no last-good chain or it is already the one installed.
+func (n *NIC) ReinstallLastGood(dir Direction) bool {
+	prev := n.lastGood[dir]
+	if prev == nil {
+		return false
+	}
+	var cur *overlay.Machine
+	if dir == Ingress {
+		cur = n.ingress
+	} else {
+		cur = n.egress
+	}
+	if cur != nil && cur.Program() == prev {
+		return false
+	}
+	m := overlay.NewMachine(prev)
+	if dir == Ingress {
+		n.ingress = m
+		n.ingressCacheable = programCacheable(prev)
+	} else {
+		n.egress = m
+	}
+	n.fcFlush()
+	return true
+}
 
 // RxOccupancy aggregates RX-ring pressure across every open connection:
 // total occupied and total capacity in descriptors, plus how many rings sit

@@ -74,7 +74,9 @@ func (n *NIC) LastGood(dir Direction) *overlay.Program { return n.lastGood[dir] 
 // verified program (dynamic table state is sacrificed, exactly what a
 // hardware stage reset does). The trapped packet is re-run through the
 // replacement; if that also traps, the pipeline fails open with no program.
-// Each absorbed trap increments TrapFallbacks.
+// One trap event counts once: the absorbed trap increments TrapFallbacks,
+// and the terminal double-trap increments TrapFailOpens instead of
+// inflating the fallback count a second time.
 func (n *NIC) trapFallback(dir Direction, p *packet.Packet, e env) (overlay.Verdict, int) {
 	n.TrapFallbacks++
 	var repl *overlay.Machine
@@ -100,7 +102,10 @@ func (n *NIC) trapFallback(dir Direction, p *packet.Packet, e env) (overlay.Verd
 	}
 	v, cycles, trap := repl.Run(p, e)
 	if trap != nil {
-		n.TrapFallbacks++
+		// Failing open is not a fallback to a last-good chain; count it in
+		// its own bucket so one fault event never shows up twice in
+		// nic_trap_fallbacks.
+		n.TrapFailOpens++
 		n.UnloadProgram(dir)
 		return overlay.VerdictPass, 0
 	}

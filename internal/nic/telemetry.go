@@ -24,12 +24,15 @@ func (n *NIC) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
 		{"rx_outage_drop", "frames dropped while the dataplane was faulted down", &n.RxOutageDrop},
 		{"rx_fifo_drop", "frames dropped at the MAC FIFO under DMA backpressure", &n.RxFifoDrop},
 		{"rx_shed", "ingress frames deliberately dropped by the priority-aware shed policy", &n.RxShed},
+		{"rx_link_drop", "ingress frames lost while the physical link was down", &n.RxLinkDrop},
 		{"tx_frames", "frames transmitted onto the wire", &n.TxFrames},
 		{"tx_drop_verdict", "frames dropped by an egress overlay verdict", &n.TxDropVerdict},
 		{"tx_bytes", "bytes transmitted onto the wire", &n.TxBytes},
 		{"dma_desc_hit", "descriptor fetches satisfied by the on-NIC shadow (no PCIe round trip)", &n.DMADescHit},
 		{"dma_desc_miss", "descriptor fetches that crossed PCIe to host memory", &n.DMADescMiss},
 		{"trap_fallbacks", "overlay runtime traps absorbed by falling back to the last-good chain", &n.TrapFallbacks},
+		{"trap_fail_opens", "double-trap events that unloaded the pipeline and failed open", &n.TrapFailOpens},
+		{"dma_stall_ns", "injected DMA-engine stall time", &n.DMAStallNs},
 	}
 	for _, c := range counters {
 		v := c.v
@@ -38,8 +41,10 @@ func (n *NIC) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
 			unit = "bytes"
 		} else if c.name == "dma_desc_hit" || c.name == "dma_desc_miss" {
 			unit = "fetches"
-		} else if c.name == "trap_fallbacks" {
+		} else if c.name == "trap_fallbacks" || c.name == "trap_fail_opens" {
 			unit = "traps"
+		} else if c.name == "dma_stall_ns" {
+			unit = "ns"
 		}
 		r.Counter(telemetry.Desc{Layer: "nic", Name: c.name, Help: c.help, Unit: unit},
 			labels, func() uint64 { return *v })
@@ -63,11 +68,14 @@ func (n *NIC) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
 			{"flowcache_evictions", "flow-cache entries evicted by the per-bucket clock", func(f *FlowCache) uint64 { return f.Evictions }},
 			{"flowcache_invalidations", "flow-cache entries dropped by reload/steering/close invalidation", func(f *FlowCache) uint64 { return f.Invalidations }},
 			{"flowcache_denied", "flow-cache installs refused because the tenant's partition had no victim", func(f *FlowCache) uint64 { return f.Denied }},
+			{"flowcache_checksum_fails", "flow-cache hits refused because the entry's checksum no longer matched (detected SRAM corruption)", func(f *FlowCache) uint64 { return f.ChecksumFails }},
+			{"flowcache_corrupt_served", "lookups that applied a corrupted entry's decision (ground truth; non-zero only with verification off)", func(f *FlowCache) uint64 { return f.CorruptServed }},
 		}
 		for _, c := range fcCounters {
 			read := c.read
 			unit := "frames"
-			if c.name != "flowcache_hits" && c.name != "flowcache_misses" {
+			if c.name != "flowcache_hits" && c.name != "flowcache_misses" &&
+				c.name != "flowcache_checksum_fails" && c.name != "flowcache_corrupt_served" {
 				unit = "entries"
 			}
 			r.Counter(telemetry.Desc{Layer: "nic", Name: c.name, Help: c.help, Unit: unit},

@@ -92,7 +92,12 @@ func TestTrapWithoutLastGoodReinstalls(t *testing.T) {
 }
 
 // TestDoubleTrapFailsOpen: if the replacement chain also traps on the same
-// packet, the pipeline unloads entirely — fail open beats a trap loop.
+// packet, the pipeline unloads entirely — fail open beats a trap loop. The
+// regression half: one fault event must count exactly once per bucket —
+// one TrapFallback (the absorbed trap) and one TrapFailOpen (the terminal
+// unload), never two fallbacks for a single trapping packet. Inflating
+// TrapFallbacks per retry would also double-trip the health monitor's
+// pipeline signal for what is one quarantine-worthy event.
 func TestDoubleTrapFailsOpen(t *testing.T) {
 	n, eng := newNIC(1 << 20)
 	_, _ = n.OpenConn(1, packet.Meta{}, nil)
@@ -107,8 +112,11 @@ func TestDoubleTrapFailsOpen(t *testing.T) {
 	n.DeliverFromWire(udpTo(80))
 	eng.Run()
 
-	if n.TrapFallbacks != 2 {
-		t.Fatalf("TrapFallbacks = %d", n.TrapFallbacks)
+	if n.TrapFallbacks != 1 {
+		t.Fatalf("TrapFallbacks = %d, want 1 (fail-open is not a fallback)", n.TrapFallbacks)
+	}
+	if n.TrapFailOpens != 1 {
+		t.Fatalf("TrapFailOpens = %d, want 1", n.TrapFailOpens)
 	}
 	if n.Machine(Ingress) != nil {
 		t.Fatal("double trap must unload the pipeline")

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"norman/internal/arch"
+	"norman/internal/health"
 	"norman/internal/host"
 	"norman/internal/kernel"
 	"norman/internal/overload"
@@ -142,6 +143,7 @@ type System struct {
 	reg   *telemetry.Registry
 	rec   *recovery.Manager
 	gov   *overload.Governor
+	hm    *health.Monitor
 }
 
 // installedRule remembers admin rule state for IPTablesList.
@@ -195,6 +197,10 @@ func (s *System) Run() Duration {
 	if resume {
 		s.gov.Stop()
 	}
+	resumeHM := s.hm != nil && s.hm.Running()
+	if resumeHM {
+		s.hm.Stop()
+	}
 	var t Duration
 	if s.w.Coord != nil {
 		t = sim.Duration(s.w.Coord.Run())
@@ -203,6 +209,9 @@ func (s *System) Run() Duration {
 	}
 	if resume {
 		s.gov.Start(0)
+	}
+	if resumeHM {
+		s.hm.Start(0)
 	}
 	return t
 }
@@ -271,6 +280,10 @@ func (s *System) EnableTelemetry() *telemetry.Registry {
 		if s.gov != nil {
 			s.gov.SetTracer(s.w.Tracer)
 			s.gov.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
+		}
+		if s.hm != nil {
+			s.hm.SetTracer(s.w.Tracer)
+			s.hm.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
 		}
 	}
 	return s.reg

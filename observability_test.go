@@ -8,6 +8,7 @@ import (
 	"norman"
 	"norman/internal/ctl"
 	"norman/internal/faults"
+	"norman/internal/health"
 	"norman/internal/mem"
 	"norman/internal/overload"
 	"norman/internal/qos"
@@ -58,6 +59,9 @@ func populateFullRegistry(t *testing.T) *telemetry.Registry {
 	if err := sys.EnableFlowCache(256); err != nil {
 		t.Fatal(err)
 	}
+	// Health monitor before EnableTelemetry so the health.* series and the
+	// per-component state gauges register.
+	sys.EnableHealth(health.Config{})
 	reg := sys.EnableTelemetry()
 	w := sys.World()
 

@@ -53,6 +53,12 @@ NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E13|Tenant' ./
 # quotas, clock eviction, typed denials) and the cache's conservation
 # ledger must be byte-identical sequentially and at any pool width.
 NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E14|FlowCache' ./internal/experiments/... ./internal/nic/... ./internal/ctl/... .
+# Hardware-fault / health-failover determinism under race at the same
+# non-default seed: the E15 table (checksum detection, quarantine,
+# slow-path failover, probation failback) and the hardware-fault layer of
+# the chaos soak must be byte-identical sequentially and at any pool
+# width.
+NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E15|Health|Chaos' ./internal/experiments/... ./internal/health/... ./internal/faults/... ./internal/nic/... .
 # Sharded-engine determinism under race: the E12 table and the barrier
 # coordinator's merge order must be byte-identical at any shard count
 # (DESIGN.md §8), with the lockstep worker goroutines under the detector.
@@ -169,6 +175,17 @@ grep -q "flowcache: " "$tmp/flows.out"
 grep -q "lookups: " "$tmp/flows.out"
 grep -q "tenant 1: " "$tmp/flows.out"
 grep -q "tenant 2: " "$tmp/flows.out"
+
+# Health smoke: the live daemon starts the hardware health monitor at
+# boot, so -health must print the sampler state, the aggregate event
+# line and one row per hardware component, and exit 0.
+"$tmp/nnetstat" -socket "$tmp/rec.sock" -health | tee "$tmp/health.out"
+grep -q "health: sampling" "$tmp/health.out"
+grep -q "events: " "$tmp/health.out"
+grep -q "dma" "$tmp/health.out"
+grep -q "flowcache" "$tmp/health.out"
+grep -q "link" "$tmp/health.out"
+grep -q "pipeline" "$tmp/health.out"
 kill "$daemon_pid"
 
 # E12 shard-determinism smoke: the same sweep on 1 engine and on 8 lockstep
@@ -191,6 +208,14 @@ diff "$tmp/e13.shards1" "$tmp/e13.shards2"
 "$tmp/kopibench" -e E14 -scale 0.12 -shards 1 | grep -v '^\(===\|---\)' >"$tmp/e14.shards1"
 "$tmp/kopibench" -e E14 -scale 0.12 -shards 2 | grep -v '^\(===\|---\)' >"$tmp/e14.shards2"
 diff "$tmp/e14.shards1" "$tmp/e14.shards2"
+
+# E15 shard-determinism smoke: the hardware-fault table (fault schedule,
+# checksum detection, quarantine/failback cycle) is an invariant of the
+# execution layout too — 1 engine vs 2 lockstep shards at a pinned
+# non-default fault seed, byte-identical.
+NORMAN_FAULT_SEED=7 "$tmp/kopibench" -e E15 -scale 0.12 -shards 1 | grep -v '^\(===\|---\)' >"$tmp/e15.shards1"
+NORMAN_FAULT_SEED=7 "$tmp/kopibench" -e E15 -scale 0.12 -shards 2 | grep -v '^\(===\|---\)' >"$tmp/e15.shards2"
+diff "$tmp/e15.shards1" "$tmp/e15.shards2"
 
 # Sharded-daemon smoke: a daemon running its world on 4 engine shards must
 # serve the engine.shards op with per-shard rows through nnetstat -shards.
