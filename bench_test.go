@@ -159,6 +159,15 @@ func BenchmarkE15Health(b *testing.B) {
 	}
 }
 
+func BenchmarkE16Upgrade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, tbl := experiments.RunE16(benchScale, 1)
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl)
+		}
+	}
+}
+
 // TestEngineHotPathZeroAllocs guards the engine dispatch loop against
 // allocation regressions: a warmed heap must schedule and fire events
 // without touching the allocator.

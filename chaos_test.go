@@ -12,6 +12,7 @@ import (
 	"norman/internal/overload"
 	"norman/internal/recovery"
 	"norman/internal/sim"
+	"norman/internal/upgrade"
 )
 
 // chaosResult is the fingerprint one soak run leaves behind: every externally
@@ -47,6 +48,11 @@ type chaosResult struct {
 	CorruptServed uint64
 	LinkDrops     uint64
 	Health        norman.HealthStatus
+
+	// PR 10 live-upgrade layer: the full status row — phase, generation and
+	// every counter — after two mid-chaos upgrades (one crashed canary, one
+	// clean commit).
+	Upgrade norman.UpgradeStatus
 }
 
 // chaosRun composes the three robustness layers this repo has grown — the
@@ -81,6 +87,9 @@ func chaosRun(t *testing.T) chaosResult {
 		ProbationAfter: 4,
 		RestoreAfter:   2,
 	})
+	// The PR 10 live-upgrade layer: a 300µs canary window so the first
+	// upgrade's canary is still open when the control plane dies under it.
+	sys.EnableLiveUpgrade(upgrade.Config{CanaryWindow: 300 * sim.Microsecond})
 
 	w := sys.World()
 	inj := faults.New(w.Eng, w.NIC, w.LLC, faults.Config{
@@ -158,6 +167,15 @@ func chaosRun(t *testing.T) chaosResult {
 		sys.At(sim.Duration(i)*4*sim.Microsecond, func() { c.Send(512) })
 	}
 
+	// A same-policy live upgrade whose canary window straddles the crash
+	// below: the control plane dies while watching, and the manager must
+	// roll the flip back rather than leave an unsupervised generation live.
+	sys.At(1400*sim.Microsecond, func() {
+		if err := sys.StartLiveUpgrade(); err != nil {
+			t.Errorf("upgrade 1: %v", err)
+		}
+	})
+
 	// Kill the control plane mid-traffic; mutations bounce typed while it is
 	// down; the restart replays the journal under ongoing wire faults and
 	// ring pressure.
@@ -184,6 +202,15 @@ func chaosRun(t *testing.T) chaosResult {
 		rep = r
 	})
 
+	// The second upgrade, after the restart: with the control plane healthy
+	// and the wire faults still live, this canary must ride out its window
+	// and commit — faults on the wire are not faults in the generation.
+	sys.At(3000*sim.Microsecond, func() {
+		if err := sys.StartLiveUpgrade(); err != nil {
+			t.Errorf("upgrade 2: %v", err)
+		}
+	})
+
 	gov.Start(sim.Time(horizon))
 	hm.Start(sim.Time(horizon))
 	inj.Start(sim.Time(horizon))
@@ -204,6 +231,7 @@ func chaosRun(t *testing.T) chaosResult {
 	}
 	res.LinkDrops = w.NIC.RxLinkDrop
 	res.Health = sys.HealthStatus()
+	res.Upgrade = sys.UpgradeStatus()
 
 	snap := gov.Snapshot()
 	res.Admitted = snap.Admitted
@@ -293,6 +321,29 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if len(r.Health.Components) != 4 {
 		t.Fatalf("health rows = %d, want 4: %+v", len(r.Health.Components), r.Health.Components)
+	}
+	// The upgrade layer rode through the chaos: the first flip's canary was
+	// orphaned by the crash and rolled back, the second committed cleanly
+	// under live wire faults, and the same-policy flips warm-transferred the
+	// flow cache both ways.
+	if !r.Upgrade.Enabled {
+		t.Fatal("live-upgrade subsystem not enabled")
+	}
+	if r.Upgrade.Upgrades != 2 || r.Upgrade.Commits != 1 || r.Upgrade.Rollbacks != 1 {
+		t.Errorf("upgrade events: %d flips / %d commits / %d rollbacks, want 2/1/1: %+v",
+			r.Upgrade.Upgrades, r.Upgrade.Commits, r.Upgrade.Rollbacks, r.Upgrade)
+	}
+	if r.Upgrade.Phase != "committed" {
+		t.Errorf("final upgrade phase = %q, want committed", r.Upgrade.Phase)
+	}
+	if r.Upgrade.LastRollback == "" {
+		t.Error("the crashed canary must record its rollback reason")
+	}
+	if r.Upgrade.WarmEntries == 0 {
+		t.Error("same-policy flips must warm-transfer flow-cache entries")
+	}
+	if r.Upgrade.PauseDrops != 0 {
+		t.Errorf("cutover pause overflowed %d frames", r.Upgrade.PauseDrops)
 	}
 
 	// And the entire composition is deterministic: a second execution of the

@@ -1,4 +1,4 @@
-// Command kopibench regenerates the paper-reproduction experiments (E1–E15
+// Command kopibench regenerates the paper-reproduction experiments (E1–E16
 // in DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -8,7 +8,7 @@
 //	kopibench -workers 4       # explicit worker count (implies -parallel)
 //	kopibench -e E3            # run one experiment
 //	kopibench -scale 0.3       # compress durations/sweeps for a quick pass
-//	kopibench -shards 8        # engine shards for E12–E15 (tables are shard-invariant)
+//	kopibench -shards 8        # engine shards for E12–E16 (tables are shard-invariant)
 //	kopibench -json            # also write BENCH_E*.json + BENCH_ENGINE.json
 //	kopibench -outdir results  # where -json baselines land (default .)
 //	kopibench -list            # list experiments
@@ -78,9 +78,11 @@ var registry = map[string]struct {
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE14(s, e12Shards); return t }},
 	"E15": {"hardware fault tolerance: link flap, SRAM flip burst and trap storm vs health quarantine + slow-path failover, seeded by NORMAN_FAULT_SEED",
 		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE15(s, e12Shards); return t }},
+	"E16": {"live upgrade vs bitstream respin: staged A/B cutover, canary-gated commit and automatic rollback under the E14 victim workload",
+		func(s experiments.Scale) *stats.Table { _, t := experiments.RunE16(s, e12Shards); return t }},
 }
 
-// e12Shards is the -shards flag: how many engine shards E12–E15 spread their
+// e12Shards is the -shards flag: how many engine shards E12–E16 spread their
 // worlds over. The experiments' results are byte-identical at any value.
 var e12Shards = 1
 
@@ -119,7 +121,7 @@ type engineRecord struct {
 }
 
 func main() {
-	exp := flag.String("e", "", "experiment id (E1..E15); empty = all")
+	exp := flag.String("e", "", "experiment id (E1..E16); empty = all")
 	scale := flag.Float64("scale", 1.0, "duration/sweep scale factor (1.0 = full)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Bool("parallel", false, "fan each experiment's independent worlds across all cores")
@@ -128,7 +130,7 @@ func main() {
 	outdir := flag.String("outdir", ".", "directory -json baselines are written to")
 	metricsOut := flag.String("metrics-out", "", "write the E9 run's telemetry registry (Prometheus text) to this file")
 	pprofOut := flag.String("pprof", "", "write a CPU profile of the experiment runs to this file")
-	shards := flag.Int("shards", 1, "engine shards for E12–E15 (results are invariant across shard counts)")
+	shards := flag.Int("shards", 1, "engine shards for E12–E16 (results are invariant across shard counts)")
 	flag.Parse()
 	e12Shards = *shards
 

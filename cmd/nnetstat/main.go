@@ -15,7 +15,10 @@
 // -flows it reports the NIC's exact-match flow cache: occupancy, hit/miss
 // and install/evict/invalidate accounting, and the per-tenant partition
 // rows. With -health it reports the NIC hardware-health monitor: aggregate
-// quarantine/failover/failback events and the per-component state rows.
+// quarantine/failover/failback events and the per-component state rows. With
+// -upgrade it reports the live-upgrade subsystem: lifecycle phase, pipeline
+// generation, cutover/commit/rollback counts, canary accounting, and the
+// pause-buffer and warm-transfer numbers of the last flip.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 	tenantsFlag := flag.Bool("tenants", false, "show the daemon's per-tenant isolation status (scheduler grants, DDIO partition, budgets)")
 	flowsFlag := flag.Bool("flows", false, "show the NIC flow-cache status (occupancy, hit/miss, per-tenant partitions)")
 	healthFlag := flag.Bool("health", false, "show the NIC hardware-health monitor (component states, quarantines, failovers)")
+	upgradeFlag := flag.Bool("upgrade", false, "show the live-upgrade subsystem (phase, generation, canary, rollbacks)")
 	flag.Parse()
 
 	c, err := ctl.Dial(*socket)
@@ -120,6 +124,31 @@ func main() {
 		for _, r := range data.Components {
 			fmt.Printf("  %-10s %-12s %d signals, %d quarantines, %d failovers, %d failbacks\n",
 				r.Component, r.State, r.Signals, r.Quarantines, r.Failovers, r.Failbacks)
+		}
+		return
+	}
+
+	if *upgradeFlag {
+		var data ctl.UpgradeData
+		if err := c.Call(ctl.OpUpgradeStatus, nil, &data); err != nil {
+			fatal(err)
+		}
+		if !data.Enabled {
+			fmt.Println("upgrade: live-upgrade subsystem not enabled on this daemon")
+			return
+		}
+		watching := "idle"
+		if data.Watching {
+			watching = "canary watching"
+		}
+		fmt.Printf("upgrade: generation %d, phase %s (%s)\n", data.Generation, data.Phase, watching)
+		fmt.Printf("events: %d upgrades, %d commits, %d rollbacks, %d adoptions\n",
+			data.Upgrades, data.Commits, data.Rollbacks, data.Adoptions)
+		fmt.Printf("canary: %d samples, %d breaches\n", data.CanarySamples, data.CanaryBreaches)
+		fmt.Printf("handover: %d frames pause-buffered, %d pause drops, %d cache entries warm-transferred\n",
+			data.PauseBuffered, data.PauseDrops, data.WarmEntries)
+		if data.LastRollback != "" {
+			fmt.Printf("last rollback: %s\n", data.LastRollback)
 		}
 		return
 	}

@@ -26,6 +26,7 @@ import (
 	"norman/internal/overload"
 	"norman/internal/packet"
 	"norman/internal/recovery"
+	"norman/internal/upgrade"
 	"norman/internal/wire"
 )
 
@@ -34,6 +35,7 @@ func main() {
 	socket := flag.String("socket", ctl.DefaultSocket, "control socket path")
 	flood := flag.Bool("flood", false, "include the buggy ARP-flooding daemon (the §2 debugging scenario)")
 	journalPath := flag.String("journal", "", "persist the control-plane intent journal to this file; an existing journal is replayed on start (SIGKILL recovery)")
+	journalCompact := flag.Int("journal-compact", 4096, "compact the journal on restart once it holds at least this many entries (0 disables)")
 	shards := flag.Int("shards", 1, "engine shards for the world (>1 runs the lockstep barrier coordinator; inspect with nnetstat -shards)")
 	flag.Parse()
 
@@ -65,11 +67,15 @@ func main() {
 	// the component rows. Enabled after the flow cache so checksum
 	// verification covers it from the first packet.
 	sys.EnableHealth(health.Config{}).Start(0)
+	// Live upgrades: staged A/B pipeline generations with canary-gated
+	// cutover and automatic rollback; nnetstat -upgrade reads the phase and
+	// the ctl upgrade.start op drives a same-policy flip.
+	sys.EnableLiveUpgrade(upgrade.Config{})
 	// Observability on from the start: the metrics registry and the packet
 	// tracer feed nnetstat -metrics and ntcpdump -trace.
 	reg := sys.EnableTelemetry()
 	if *journalPath != "" {
-		if err := attachJournal(sys, *journalPath); err != nil {
+		if err := attachJournal(sys, *journalPath, *journalCompact); err != nil {
 			log.Fatalf("normand: journal: %v", err)
 		}
 	}
@@ -138,11 +144,18 @@ func main() {
 	}
 }
 
-// attachJournal wires durable journaling: an existing file is decoded and
-// reconciled (the previous incarnation's intent, with its connections marked
-// stale across the epoch), then every subsequent journal append is written
-// through with an fsync — the write-ahead property survives SIGKILL.
-func attachJournal(sys *norman.System, path string) error {
+// attachJournal wires durable journaling: an existing file is compacted when
+// it has grown past the threshold (crash-safe rewrite: the dead entries of
+// aborted, flushed, superseded and closed mutations are folded away), decoded
+// and reconciled (the previous incarnation's intent, with its connections
+// marked stale across the epoch), then every subsequent journal append is
+// written through with an fsync — the write-ahead property survives SIGKILL.
+func attachJournal(sys *norman.System, path string, compactAt int) error {
+	if before, after, err := recovery.CompactFile(path, compactAt); err != nil {
+		return fmt.Errorf("compacting %s: %w", path, err)
+	} else if after < before {
+		fmt.Printf("normand: compacted journal %s: %d -> %d entries\n", path, before, after)
+	}
 	var entries []recovery.Entry
 	if f, err := os.Open(path); err == nil {
 		entries, err = recovery.Decode(f)
@@ -181,6 +194,12 @@ func attachJournal(sys *norman.System, path string) error {
 		}
 		fmt.Printf("normand: replayed %d journal entries from %s: %d rules, %d stale conns, %d repairs, clean=%v\n",
 			rep.Entries, path, rep.Rules, rep.Stale, len(rep.Actions), rep.Clean)
+		// Hot restart: re-adopt whatever pipeline generation the dataplane is
+		// serving — replay rebuilt the control plane's intent, the NIC never
+		// stopped forwarding, and adoption records the generation without a
+		// flip or a flush.
+		gen := sys.Upgrade().Adopt(sys.World().Eng.Now())
+		fmt.Printf("normand: adopted live pipeline generation %d\n", gen)
 	}
 	return nil
 }

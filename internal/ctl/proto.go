@@ -48,6 +48,8 @@ const (
 	OpShards        = "engine.shards"
 	OpFlowCache     = "flowcache.status"
 	OpHealth        = "health.status"
+	OpUpgradeStart  = "upgrade.start"
+	OpUpgradeStatus = "upgrade.status"
 )
 
 // IdempotentOp reports whether op is a read-only query the client may
@@ -58,7 +60,7 @@ func IdempotentOp(op string) bool {
 	switch op {
 	case OpStatus, OpIPTablesList, OpTCShow, OpDumpFetch, OpDumpPcap,
 		OpNetstat, OpARP, OpTelemetry, OpTrace, OpRecovery, OpOverload,
-		OpTenants, OpShards, OpFlowCache, OpHealth:
+		OpTenants, OpShards, OpFlowCache, OpHealth, OpUpgradeStatus:
 		return true
 	}
 	return false
@@ -315,6 +317,28 @@ type HealthRow struct {
 	Quarantines uint64 `json:"quarantines"`
 	Failovers   uint64 `json:"failovers"`
 	Failbacks   uint64 `json:"failbacks"`
+}
+
+// UpgradeData answers upgrade.status (and upgrade.start, which replies with
+// the post-cutover snapshot): the live-upgrade subsystem's lifecycle phase,
+// pipeline generation and event counters. Enabled reports whether the daemon
+// runs the subsystem at all — a daemon without it answers Enabled=false
+// rather than erroring, so nnetstat -upgrade degrades gracefully.
+type UpgradeData struct {
+	Enabled        bool   `json:"enabled"`
+	Phase          string `json:"phase,omitempty"`
+	Generation     uint64 `json:"generation,omitempty"`
+	Watching       bool   `json:"watching,omitempty"`
+	Upgrades       uint64 `json:"upgrades,omitempty"`
+	Commits        uint64 `json:"commits,omitempty"`
+	Rollbacks      uint64 `json:"rollbacks,omitempty"`
+	CanarySamples  uint64 `json:"canary_samples,omitempty"`
+	CanaryBreaches uint64 `json:"canary_breaches,omitempty"`
+	WarmEntries    uint64 `json:"warm_entries,omitempty"`
+	Adoptions      uint64 `json:"adoptions,omitempty"`
+	PauseBuffered  uint64 `json:"pause_buffered,omitempty"`
+	PauseDrops     uint64 `json:"pause_drops,omitempty"`
+	LastRollback   string `json:"last_rollback,omitempty"`
 }
 
 // ShardsData is the engine shard coordinator's snapshot (engine.shards).

@@ -219,6 +219,15 @@ func (s *Server) dispatch(req Request) (data json.RawMessage, err error) {
 		return s.flowcacheStatus()
 	case OpHealth:
 		return s.healthStatus()
+	case OpUpgradeStart:
+		if err := s.sys.StartLiveUpgrade(); err != nil {
+			return nil, err
+		}
+		// Run the world past the cutover so the reply reflects the flip.
+		s.sys.RunFor(s.StepPerRequest)
+		return s.upgradeStatus()
+	case OpUpgradeStatus:
+		return s.upgradeStatus()
 	default:
 		return nil, fmt.Errorf("ctl: unknown op %q", req.Op)
 	}
@@ -238,7 +247,7 @@ func (s *Server) status() (json.RawMessage, error) {
 		TxFrames:     w.NIC.TxFrames,
 		RxFrames:     w.NIC.RxWire,
 		RxDrops: w.NIC.RxDropNoSteer + w.NIC.RxDropRing + w.NIC.RxDropVerdict +
-			w.NIC.RxFifoDrop + w.NIC.RxOutageDrop + w.NIC.RxShed,
+			w.NIC.RxFifoDrop + w.NIC.RxOutageDrop + w.NIC.RxShed + w.NIC.RxPauseDrop,
 		SRAMUsed:   used,
 		SRAMBudget: budget,
 		Conns:      w.NIC.ConnCount(),
@@ -575,6 +584,33 @@ func (s *Server) healthStatus() (json.RawMessage, error) {
 		})
 	}
 	return marshal(data)
+}
+
+// upgradeStatus reports the live-upgrade subsystem's lifecycle phase,
+// generation and event counters (upgrade.status). A daemon without the
+// subsystem answers Enabled=false rather than erroring, so nnetstat -upgrade
+// degrades gracefully.
+func (s *Server) upgradeStatus() (json.RawMessage, error) {
+	st := s.sys.UpgradeStatus()
+	if !st.Enabled {
+		return marshal(UpgradeData{Enabled: false})
+	}
+	return marshal(UpgradeData{
+		Enabled:        true,
+		Phase:          st.Phase,
+		Generation:     st.Generation,
+		Watching:       st.Watching,
+		Upgrades:       st.Upgrades,
+		Commits:        st.Commits,
+		Rollbacks:      st.Rollbacks,
+		CanarySamples:  st.CanarySamples,
+		CanaryBreaches: st.CanaryBreaches,
+		WarmEntries:    st.WarmEntries,
+		Adoptions:      st.Adoptions,
+		PauseBuffered:  st.PauseBuffered,
+		PauseDrops:     st.PauseDrops,
+		LastRollback:   st.LastRollback,
+	})
 }
 
 // shardsStatus reports the engine shard coordinator's counters

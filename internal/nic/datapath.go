@@ -183,7 +183,7 @@ func (n *NIC) drainTx(c *Conn) {
 func (n *NIC) txArrive(c *Conn, p *packet.Packet, frame int, produced sim.Time) {
 	now := n.eng.Now()
 	if n.Down(now) {
-		n.TxDropVerdict++ // dataplane outage: frame lost
+		n.TxOutageDrop++ // dataplane outage: frame lost, typed as such
 		n.txSlotFree()
 		return
 	}
@@ -343,7 +343,7 @@ func (n *NIC) transmit(p *packet.Packet, now sim.Time, freeSlot bool) {
 func (n *NIC) InjectTx(p *packet.Packet) {
 	now := n.eng.Now()
 	if n.Down(now) {
-		n.TxDropVerdict++
+		n.TxOutageDrop++
 		return
 	}
 	_, pipeDone := n.pipeline.Acquire(now, n.pipeOccupancy(p.FrameLen()))
@@ -377,6 +377,20 @@ func (n *NIC) rxFrame(p *packet.Packet) {
 		n.trace(p, now, "nic", "rx_link_down", "")
 		return
 	}
+	if n.pauseIntake(p, now) {
+		// Generation cutover in progress: the frame waits out the epoch flip
+		// in the pause buffer (or became a typed RxPauseDrop) instead of
+		// being blackholed mid-upgrade.
+		return
+	}
+	n.rxAdmit(p, now)
+}
+
+// rxAdmit is ingress admission past the MAC and pause gate: both the live
+// wire path (rxFrame) and the pause-buffer replay (ResumeRx) enter here, so
+// a replayed frame takes exactly the path it would have taken live — FIFO
+// accounting, shed policy, outage check, pipeline, DMA.
+func (n *NIC) rxAdmit(p *packet.Packet, now sim.Time) {
 	if n.tsched != nil {
 		n.rxFrameSched(p, now)
 		return

@@ -528,6 +528,39 @@ func (f *FlowCache) drop(e *flowEntry) {
 	e.valid = false
 }
 
+// FlowEntryExport is one live flow-cache decision in portable form — the
+// warm-handover unit of the live-upgrade snapshot. Only the decision fields
+// travel; hit counters and clock bits are runtime state that does not survive
+// a generation flip.
+type FlowEntryExport struct {
+	Key     packet.FlowKey  `json:"key"`
+	ConnID  uint64          `json:"conn_id"`
+	Tenant  uint32          `json:"tenant"`
+	Mark    uint32          `json:"mark,omitempty"`
+	Class   uint32          `json:"class,omitempty"`
+	Verdict overlay.Verdict `json:"verdict"`
+}
+
+// Export snapshots the live entries in deterministic (flowLess) key order.
+// Tainted entries and entries whose checksum no longer matches their decision
+// fields are skipped — corrupted state must never be warm-transferred into a
+// new generation's cache.
+func (f *FlowCache) Export() []FlowEntryExport {
+	out := make([]FlowEntryExport, 0, f.used)
+	for i := range f.entries {
+		e := &f.entries[i]
+		if !e.valid || e.tainted || entrySum(e) != e.sum {
+			continue
+		}
+		out = append(out, FlowEntryExport{
+			Key: e.key, ConnID: e.connID, Tenant: e.tenant,
+			Mark: e.mark, Class: e.class, Verdict: e.verdict,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return flowLess(out[i].Key, out[j].Key) })
+	return out
+}
+
 // programCacheable reports whether an overlay program's per-packet decision
 // is safe to memoize by flow: meters are rate-dependent, updates mutate
 // shared table state, and mirror/notify are per-packet side effects — any of

@@ -1,0 +1,326 @@
+package nic
+
+import (
+	"errors"
+	"testing"
+
+	"norman/internal/mem"
+	"norman/internal/overlay"
+	"norman/internal/packet"
+	"norman/internal/sim"
+)
+
+func assemble(t *testing.T, name, src string) *overlay.Program {
+	t.Helper()
+	p, err := overlay.Assemble(name, src)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return p
+}
+
+// TestGenerationLifecycle walks the happy path of an A/B upgrade — stage,
+// activate, commit — checking at each step that SRAM double-residency is
+// charged and released correctly, the generation counter moves only on the
+// flip, and the live decision procedure actually changes at the flip.
+func TestGenerationLifecycle(t *testing.T) {
+	n, eng := newNIC(1 << 20)
+	_, _ = n.OpenConn(1, packet.Meta{}, nil)
+	n.SetDefaultConn(1)
+
+	v1 := assemble(t, "v1", "ldf r0, dst_port\njne r0, 80, ok\ndrop\nok:\npass\n")
+	v2 := assemble(t, "v2", "ldf r0, dst_port\njne r0, 81, ok\ndrop\nok:\npass\n")
+	if _, _, err := n.LoadProgram(Ingress, v1); err != nil {
+		t.Fatal(err)
+	}
+	if n.Generation() != 0 || n.InCanary() || n.StagedGeneration() {
+		t.Fatal("fresh NIC must be at generation 0, no canary, nothing staged")
+	}
+	liveUsed, _ := n.SRAM()
+
+	// Staging charges the shadow copy on top of the live pair.
+	if err := n.StageGeneration(0, v2, nil); err != nil {
+		t.Fatal(err)
+	}
+	stagedUsed, _ := n.SRAM()
+	if stagedUsed <= liveUsed {
+		t.Fatalf("staging must charge SRAM: %d -> %d", liveUsed, stagedUsed)
+	}
+	if !n.StagedGeneration() || n.Generation() != 0 {
+		t.Fatal("staging must not flip the generation")
+	}
+	// Restaging replaces the charge, not stacks it.
+	if err := n.StageGeneration(0, v2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := n.SRAM(); again != stagedUsed {
+		t.Fatalf("restage must replace the staged charge: %d vs %d", again, stagedUsed)
+	}
+
+	// The staged generation does not decide packets: v1 still drops port 80.
+	n.DeliverFromWire(udpTo(80))
+	n.DeliverFromWire(udpTo(81))
+	eng.Run()
+	if n.RxDropVerdict != 1 {
+		t.Fatalf("pre-flip verdict drops = %d", n.RxDropVerdict)
+	}
+
+	// Activation flips the epoch and keeps the old pair resident for rollback.
+	load, err := n.ActivateStaged(eng.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load <= 0 {
+		t.Fatal("activation must cost MMIO time")
+	}
+	if n.Generation() != 1 || !n.InCanary() || n.StagedGeneration() {
+		t.Fatalf("post-flip: gen=%d canary=%v staged=%v",
+			n.Generation(), n.InCanary(), n.StagedGeneration())
+	}
+	// A second activation during the canary is refused.
+	if err := n.StageGeneration(eng.Now(), v1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ActivateStaged(eng.Now()); err == nil {
+		t.Fatal("activation with an unresolved canary must fail")
+	}
+	n.AbortStaged()
+
+	// v2 now decides: port 81 drops, port 80 passes.
+	n.DeliverFromWire(udpTo(80))
+	n.DeliverFromWire(udpTo(81))
+	eng.Run()
+	if n.RxDropVerdict != 2 {
+		t.Fatalf("post-flip verdict drops = %d", n.RxDropVerdict)
+	}
+
+	// Commit releases the retained pair: back to single-residency.
+	if err := n.CommitGeneration(eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if n.InCanary() {
+		t.Fatal("commit must resolve the canary")
+	}
+	if used, _ := n.SRAM(); used != liveUsed {
+		t.Fatalf("commit must release the retained pair: %d vs %d", used, liveUsed)
+	}
+	if err := n.CommitGeneration(eng.Now()); !errors.Is(err, ErrNoPrevGen) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+// TestGenerationRollback flips to a bad generation and reverts: the old
+// decision procedure returns, the generation counter still moves forward (a
+// rollback is a flip too), and the double-residency charge is released.
+func TestGenerationRollback(t *testing.T) {
+	n, eng := newNIC(1 << 20)
+	c, _ := n.OpenConn(1, packet.Meta{}, nil)
+	n.SetDefaultConn(1)
+
+	v1 := assemble(t, "v1", "pass\n")
+	bad := assemble(t, "bad", "drop\n")
+	if _, _, err := n.LoadProgram(Ingress, v1); err != nil {
+		t.Fatal(err)
+	}
+	liveUsed, _ := n.SRAM()
+
+	if err := n.StageGeneration(0, bad, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ActivateStaged(eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	n.DeliverFromWire(udpTo(80))
+	eng.Run()
+	if n.RxDropVerdict != 1 || c.RxDelivered != 0 {
+		t.Fatalf("bad generation must drop: verdict=%d delivered=%d",
+			n.RxDropVerdict, c.RxDelivered)
+	}
+
+	if err := n.RollbackGeneration(eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if n.Generation() != 2 {
+		t.Fatalf("rollback must advance the epoch: gen=%d", n.Generation())
+	}
+	if n.InCanary() {
+		t.Fatal("rollback must resolve the canary")
+	}
+	if used, _ := n.SRAM(); used != liveUsed {
+		t.Fatalf("rollback must release the rolled-back pair: %d vs %d", used, liveUsed)
+	}
+	n.DeliverFromWire(udpTo(80))
+	eng.Run()
+	if c.RxDelivered != 1 {
+		t.Fatalf("restored generation must pass traffic: delivered=%d", c.RxDelivered)
+	}
+	if err := n.RollbackGeneration(eng.Now()); !errors.Is(err, ErrNoPrevGen) {
+		t.Fatalf("rollback with nothing retained: %v", err)
+	}
+}
+
+// TestStageGenerationRejects pins the staging guards: no staging into an
+// outage, no invalid programs, no blowing the SRAM budget, and nothing to
+// activate when nothing is staged.
+func TestStageGenerationRejects(t *testing.T) {
+	n, _ := newNIC(1 << 20)
+	v1 := assemble(t, "v1", "pass\n")
+
+	if _, err := n.ActivateStaged(0); !errors.Is(err, ErrNothingStaged) {
+		t.Fatalf("activate with nothing staged: %v", err)
+	}
+
+	// Unverifiable program: a jump out of range.
+	badProg := &overlay.Program{Name: "wild", Code: []overlay.Inst{
+		{Op: overlay.OpJmp, Target: 99},
+	}}
+	if err := n.StageGeneration(0, badProg, nil); !errors.Is(err, ErrStagedNotValid) {
+		t.Fatalf("invalid program: %v", err)
+	}
+
+	// Budget too small for double residency.
+	big := assemble(t, "big", ".table t 4096\nldf r0, conn\nlookup r1, t, r0, m\npass\nm:\ndrop\n")
+	tiny, _ := newNIC(big.SRAMBytes() + 64)
+	if _, _, err := tiny.LoadProgram(Ingress, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiny.StageGeneration(0, big, nil); !errors.Is(err, ErrSRAMExhausted) {
+		t.Fatalf("double residency over budget: %v", err)
+	}
+
+	// No staging while the dataplane is down.
+	n.ReloadBitstream(0, 10*sim.Microsecond)
+	if err := n.StageGeneration(0, v1, nil); !errors.Is(err, ErrUpgradeOutage) {
+		t.Fatalf("staging into an outage: %v", err)
+	}
+}
+
+// TestPauseResumeReplaysInOrder checks the cutover pause: frames arriving
+// while ingress is paused are buffered, not delivered; resume replays them in
+// arrival order through normal admission, so they land under the new
+// generation with nothing lost.
+func TestPauseResumeReplaysInOrder(t *testing.T) {
+	n, eng := newNIC(1 << 20)
+	c, _ := n.OpenConn(1, packet.Meta{}, nil)
+	n.SetDefaultConn(1)
+	var order []uint16
+	n.OnRxDeliver = func(cc *Conn, _ sim.Time) {
+		if d, err := cc.RX.Pop(); err == nil {
+			order = append(order, d.Pkt.UDP.DstPort)
+		}
+	}
+
+	if err := n.PauseRx(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.PauseRx(0); !errors.Is(err, ErrRxPaused) {
+		t.Fatalf("double pause: %v", err)
+	}
+	for _, port := range []uint16{80, 81, 82} {
+		n.DeliverFromWire(udpTo(port))
+	}
+	eng.Run()
+	if c.RxDelivered != 0 || n.RxPauseQueue() != 3 || n.RxPauseBuffered != 3 {
+		t.Fatalf("paused ingress must buffer: delivered=%d queue=%d buffered=%d",
+			c.RxDelivered, n.RxPauseQueue(), n.RxPauseBuffered)
+	}
+
+	if err := n.ResumeRx(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if c.RxDelivered != 3 || n.RxPauseQueue() != 0 {
+		t.Fatalf("resume must replay everything: delivered=%d queue=%d",
+			c.RxDelivered, n.RxPauseQueue())
+	}
+	if len(order) != 3 || order[0] != 80 || order[1] != 81 || order[2] != 82 {
+		t.Fatalf("replay must preserve arrival order: %v", order)
+	}
+	if err := n.ResumeRx(); !errors.Is(err, ErrRxNotPaused) {
+		t.Fatalf("resume while running: %v", err)
+	}
+}
+
+// TestPauseOverflowIsTypedDrop pins the bounded-pause budget: beyond the cap,
+// frames become RxPauseDrop — a conservation-ledger class, not silence.
+func TestPauseOverflowIsTypedDrop(t *testing.T) {
+	n, eng := newNIC(1 << 20)
+	c, _ := n.OpenConn(1, packet.Meta{}, nil)
+	n.SetDefaultConn(1)
+	if err := n.PauseRx(2); err != nil {
+		t.Fatal(err)
+	}
+	const sent = 5
+	for i := 0; i < sent; i++ {
+		n.DeliverFromWire(udpTo(80))
+	}
+	eng.Run()
+	if n.RxPauseBuffered != 2 || n.RxPauseDrop != 3 {
+		t.Fatalf("cap 2 with 5 arrivals: buffered=%d dropped=%d",
+			n.RxPauseBuffered, n.RxPauseDrop)
+	}
+	if err := n.ResumeRx(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// Conservation: every frame is either delivered or a typed drop.
+	if uint64(sent) != c.RxDelivered+n.RxPauseDrop {
+		t.Fatalf("ledger leak: sent %d, delivered %d, pause drops %d",
+			sent, c.RxDelivered, n.RxPauseDrop)
+	}
+}
+
+// TestOutageAccountsEveryFrame is the bitstream-outage accounting regression:
+// frames arriving (RX) or in flight (TX) while the dataplane is down must
+// surface as the typed outage classes, a respin must wipe the shadow bank,
+// and a paused ingress caught by the respin must fold its buffered frames
+// into the outage count rather than lose them.
+func TestOutageAccountsEveryFrame(t *testing.T) {
+	n, eng := newNIC(1 << 20)
+	c, _ := n.OpenConn(1, packet.Meta{}, nil)
+	n.SetDefaultConn(1)
+	v2 := assemble(t, "v2", "pass\n")
+
+	// A staged generation and a paused ingress holding two frames...
+	if err := n.StageGeneration(0, v2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.PauseRx(0); err != nil {
+		t.Fatal(err)
+	}
+	n.DeliverFromWire(udpTo(80))
+	n.DeliverFromWire(udpTo(81))
+	eng.Run()
+	if n.RxPauseQueue() != 2 {
+		t.Fatalf("pause queue = %d", n.RxPauseQueue())
+	}
+
+	// ...and a TX frame mid-flight when the respin hits.
+	if err := c.TX.Push(mem.Desc{Pkt: udpTo(99)}); err != nil {
+		t.Fatal(err)
+	}
+	n.DoorbellTx(c)
+	n.ReloadBitstream(eng.Now(), 10*sim.Microsecond)
+	if n.StagedGeneration() {
+		t.Fatal("a respin must wipe the staged generation")
+	}
+	if n.RxPaused() || n.RxPauseQueue() != 0 {
+		t.Fatal("a respin must clear the pause buffer")
+	}
+	if n.RxOutageDrop != 2 {
+		t.Fatalf("buffered frames must become outage drops: %d", n.RxOutageDrop)
+	}
+
+	// Traffic during the blackout: typed, on both directions.
+	n.DeliverFromWire(udpTo(80))
+	eng.Run()
+	if n.RxOutageDrop != 3 {
+		t.Fatalf("rx during outage must be typed: %d", n.RxOutageDrop)
+	}
+	if n.TxOutageDrop != 1 {
+		t.Fatalf("tx in flight across the outage must be typed: %d", n.TxOutageDrop)
+	}
+	if n.TxFrames != 0 || c.RxDelivered != 0 {
+		t.Fatalf("nothing crosses a down dataplane: tx=%d rx=%d", n.TxFrames, c.RxDelivered)
+	}
+}

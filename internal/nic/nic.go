@@ -170,6 +170,21 @@ type NIC struct {
 	// NIC degrades by reinstalling a chain from here instead of wedging.
 	lastGood [2]*overlay.Program
 
+	// staged is the shadow pipeline generation (generation.go): a verified
+	// overlay chain pair charged against the SRAM budget but not yet deciding
+	// packets. prevGen retains the pre-flip pair from activation until the
+	// canary commits or rolls back; generation counts epoch flips.
+	staged     *pipelineGen
+	prevGen    *pipelineGen
+	generation uint64
+
+	// rxPaused gates ingress admission during a generation cutover: frames
+	// buffer in arrival order up to rxPauseCap and replay on resume; overflow
+	// is the typed RxPauseDrop class, never silent loss.
+	rxPaused   bool
+	rxPauseCap int
+	rxPauseBuf []*packet.Packet
+
 	// lastGoodCfg widens lastGood from per-pipeline to whole-config scope:
 	// the most recent NIC configuration the control plane committed as
 	// known-good (both programs, scheduler, classifier, steering table,
@@ -235,12 +250,21 @@ type NIC struct {
 	// RxLinkDrop counts ingress frames lost because the physical link was
 	// down (a link flap) — loss the wire itself announces, unlike the silent
 	// FIFO drops above.
-	RxLinkDrop    uint64
-	TxFrames      uint64
-	TxDropVerdict uint64
-	TxBytes       uint64
-	DMADescMiss   uint64
-	DMADescHit    uint64
+	RxLinkDrop uint64
+	// RxPauseBuffered counts frames held (and later replayed) by the cutover
+	// pause buffer; RxPauseDrop counts the bounded buffer's typed overflow —
+	// the only loss a hitless upgrade is permitted, and it is accounted.
+	RxPauseBuffered uint64
+	RxPauseDrop     uint64
+	TxFrames        uint64
+	TxDropVerdict   uint64
+	// TxOutageDrop counts egress frames lost to a bitstream-reload outage —
+	// previously misfiled under TxDropVerdict, which conflated a dataplane
+	// blackout with a policy decision.
+	TxOutageDrop uint64
+	TxBytes      uint64
+	DMADescMiss  uint64
+	DMADescHit   uint64
 	// TrapFallbacks counts overlay runtime traps absorbed by falling back to
 	// the last-good chain (or failing open) instead of crashing — the
 	// graceful-degradation metric E9 reports.

@@ -165,6 +165,20 @@ func (n *NIC) ReloadBitstream(now sim.Time, d sim.Duration) sim.Time {
 	n.lastGood[Ingress] = nil
 	n.lastGood[Egress] = nil
 	n.ingressCacheable = false
+	// A respin wipes the shadow bank too: staged and retained generations are
+	// gone, their SRAM released. A paused ingress cannot survive the reset —
+	// buffered frames are part of the outage and counted as such.
+	n.AbortStaged()
+	if n.prevGen != nil {
+		n.sramUsed -= n.prevGen.sram
+		n.prevGen = nil
+	}
+	if n.rxPaused {
+		n.rxPaused = false
+		n.rxPauseCap = 0
+		n.RxOutageDrop += uint64(len(n.rxPauseBuf))
+		n.rxPauseBuf = nil
+	}
 	n.fcFlush()
 	return n.outageUntil
 }

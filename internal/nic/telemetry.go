@@ -25,8 +25,11 @@ func (n *NIC) RegisterMetrics(r *telemetry.Registry, labels telemetry.Labels) {
 		{"rx_fifo_drop", "frames dropped at the MAC FIFO under DMA backpressure", &n.RxFifoDrop},
 		{"rx_shed", "ingress frames deliberately dropped by the priority-aware shed policy", &n.RxShed},
 		{"rx_link_drop", "ingress frames lost while the physical link was down", &n.RxLinkDrop},
+		{"rx_pause_buffered", "ingress frames held and replayed by the cutover pause buffer", &n.RxPauseBuffered},
+		{"rx_pause_drop", "ingress frames dropped because the bounded cutover pause buffer overflowed", &n.RxPauseDrop},
 		{"tx_frames", "frames transmitted onto the wire", &n.TxFrames},
 		{"tx_drop_verdict", "frames dropped by an egress overlay verdict", &n.TxDropVerdict},
+		{"tx_outage_drop", "egress frames lost to a bitstream-reload outage", &n.TxOutageDrop},
 		{"tx_bytes", "bytes transmitted onto the wire", &n.TxBytes},
 		{"dma_desc_hit", "descriptor fetches satisfied by the on-NIC shadow (no PCIe round trip)", &n.DMADescHit},
 		{"dma_desc_miss", "descriptor fetches that crossed PCIe to host memory", &n.DMADescMiss},

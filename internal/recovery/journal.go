@@ -36,6 +36,14 @@ const (
 	// OpAbort compensates a write-ahead entry whose application failed;
 	// replay skips the referenced sequence number.
 	OpAbort Op = "abort"
+
+	// OpUpgrade records a live-upgrade intent: Ref carries the target
+	// pipeline generation the control plane is about to flip to. Replay
+	// ignores it — a daemon hot-restart re-adopts the live generation from
+	// the NIC itself, never by reprogramming the dataplane — but the entry
+	// pins upgrade intent in the same write-ahead log as every other
+	// control-plane mutation.
+	OpUpgrade Op = "upgrade.gen"
 )
 
 // RuleRecord is the journal form of one firewall rule, mirroring the
@@ -197,6 +205,10 @@ func (j *Journal) Verify() error {
 		case OpAbort:
 			if e.Ref == 0 {
 				return fmt.Errorf("recovery: seq %d: %s needs ref", e.Seq, e.Op)
+			}
+		case OpUpgrade:
+			if e.Ref == 0 {
+				return fmt.Errorf("recovery: seq %d: %s needs the target generation in ref", e.Seq, e.Op)
 			}
 		case OpEpoch, OpRuleFlush:
 			// no payload

@@ -50,7 +50,7 @@ func TestTransferSurvivesBitstreamOutage(t *testing.T) {
 	if s.Stats.Timeouts == 0 {
 		t.Fatal("the outage must have forced RTO recovery")
 	}
-	if w.NIC.RxOutageDrop == 0 && w.NIC.TxDropVerdict == 0 {
+	if w.NIC.RxOutageDrop == 0 && w.NIC.TxOutageDrop == 0 {
 		t.Fatal("the outage should have eaten traffic")
 	}
 	// The blackout plus recovery dominates the completion time.

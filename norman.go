@@ -40,6 +40,7 @@ import (
 	"norman/internal/sim"
 	"norman/internal/telemetry"
 	"norman/internal/timing"
+	"norman/internal/upgrade"
 )
 
 // Architecture selects the dataplane design a System simulates.
@@ -144,6 +145,7 @@ type System struct {
 	rec   *recovery.Manager
 	gov   *overload.Governor
 	hm    *health.Monitor
+	up    *upgrade.Manager
 }
 
 // installedRule remembers admin rule state for IPTablesList.
@@ -201,6 +203,10 @@ func (s *System) Run() Duration {
 	if resumeHM {
 		s.hm.Stop()
 	}
+	resumeUp := s.up != nil && s.up.Running()
+	if resumeUp {
+		s.up.Stop()
+	}
 	var t Duration
 	if s.w.Coord != nil {
 		t = sim.Duration(s.w.Coord.Run())
@@ -212,6 +218,9 @@ func (s *System) Run() Duration {
 	}
 	if resumeHM {
 		s.hm.Start(0)
+	}
+	if resumeUp {
+		s.up.Start(0)
 	}
 	return t
 }
@@ -284,6 +293,10 @@ func (s *System) EnableTelemetry() *telemetry.Registry {
 		if s.hm != nil {
 			s.hm.SetTracer(s.w.Tracer)
 			s.hm.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
+		}
+		if s.up != nil {
+			s.up.SetTracer(s.w.Tracer)
+			s.up.RegisterMetrics(s.reg, telemetry.Labels{"arch": s.a.Name()})
 		}
 	}
 	return s.reg

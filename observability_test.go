@@ -15,6 +15,7 @@ import (
 	"norman/internal/sniff"
 	"norman/internal/telemetry"
 	"norman/internal/transport"
+	"norman/internal/upgrade"
 )
 
 // TestObservabilityDocMatchesRegistry is the drift gate between
@@ -62,6 +63,9 @@ func populateFullRegistry(t *testing.T) *telemetry.Registry {
 	// Health monitor before EnableTelemetry so the health.* series and the
 	// per-component state gauges register.
 	sys.EnableHealth(health.Config{})
+	// Live upgrade before EnableTelemetry so the upgrade.* counters and the
+	// generation/phase gauges register.
+	sys.EnableLiveUpgrade(upgrade.Config{})
 	reg := sys.EnableTelemetry()
 	w := sys.World()
 

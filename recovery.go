@@ -51,6 +51,11 @@ func (s *System) CrashControlPlane() error {
 	s.rec.Crash(s.w.Eng.Now())
 	s.rules = nil
 	cr.CrashControlPlane()
+	// A control plane dying mid-canary cannot supervise the new generation:
+	// the upgrade manager reverts the dataplane to the proven one.
+	if s.up != nil {
+		s.up.OnControlPlaneCrash(s.w.Eng.Now())
+	}
 	return nil
 }
 

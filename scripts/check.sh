@@ -59,6 +59,12 @@ NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E14|FlowCache'
 # the chaos soak must be byte-identical sequentially and at any pool
 # width.
 NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E15|Health|Chaos' ./internal/experiments/... ./internal/health/... ./internal/faults/... ./internal/nic/... .
+# Live-upgrade determinism under race at the same non-default seed: the
+# E16 table (staged A/B cutover, pause buffering, canary rollback, warm
+# handover), the generation/pause/outage accounting, the snapshot codec
+# and journal compaction must be byte-identical sequentially and at any
+# pool width.
+NORMAN_WORKERS=8 NORMAN_FAULT_SEED=7 go test -race -count=1 -run 'E16|Upgrade|Snapshot|Compact|Generation|Pause|Outage' ./internal/experiments/... ./internal/upgrade/... ./internal/recovery/... ./internal/nic/... ./internal/ctl/... .
 # Sharded-engine determinism under race: the E12 table and the barrier
 # coordinator's merge order must be byte-identical at any shard count
 # (DESIGN.md §8), with the lockstep worker goroutines under the detector.
@@ -186,6 +192,15 @@ grep -q "dma" "$tmp/health.out"
 grep -q "flowcache" "$tmp/health.out"
 grep -q "link" "$tmp/health.out"
 grep -q "pipeline" "$tmp/health.out"
+
+# Upgrade smoke: the live daemon boots with the live-upgrade manager
+# enabled, so -upgrade must print the generation/phase header, the event
+# and canary lines and the handover accounting, and exit 0.
+"$tmp/nnetstat" -socket "$tmp/rec.sock" -upgrade | tee "$tmp/upgrade.out"
+grep -q "upgrade: generation" "$tmp/upgrade.out"
+grep -q "events: " "$tmp/upgrade.out"
+grep -q "canary: " "$tmp/upgrade.out"
+grep -q "handover: " "$tmp/upgrade.out"
 kill "$daemon_pid"
 
 # E12 shard-determinism smoke: the same sweep on 1 engine and on 8 lockstep
@@ -216,6 +231,14 @@ diff "$tmp/e14.shards1" "$tmp/e14.shards2"
 NORMAN_FAULT_SEED=7 "$tmp/kopibench" -e E15 -scale 0.12 -shards 1 | grep -v '^\(===\|---\)' >"$tmp/e15.shards1"
 NORMAN_FAULT_SEED=7 "$tmp/kopibench" -e E15 -scale 0.12 -shards 2 | grep -v '^\(===\|---\)' >"$tmp/e15.shards2"
 diff "$tmp/e15.shards1" "$tmp/e15.shards2"
+
+# E16 shard-determinism smoke: the live-upgrade table (staged cutover,
+# pause buffering, canary verdicts, warm handover) is an invariant of the
+# execution layout too — 1 engine vs 2 lockstep shards at a pinned
+# non-default fault seed, byte-identical.
+NORMAN_FAULT_SEED=7 "$tmp/kopibench" -e E16 -scale 0.12 -shards 1 | grep -v '^\(===\|---\)' >"$tmp/e16.shards1"
+NORMAN_FAULT_SEED=7 "$tmp/kopibench" -e E16 -scale 0.12 -shards 2 | grep -v '^\(===\|---\)' >"$tmp/e16.shards2"
+diff "$tmp/e16.shards1" "$tmp/e16.shards2"
 
 # Sharded-daemon smoke: a daemon running its world on 4 engine shards must
 # serve the engine.shards op with per-shard rows through nnetstat -shards.
